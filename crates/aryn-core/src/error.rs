@@ -1,0 +1,91 @@
+//! Error types shared across the Aryn-RS workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = ArynError> = std::result::Result<T, E>;
+
+/// The unified error type for the core substrate and the crates above it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArynError {
+    /// JSON parse failure with byte offset into the input.
+    Json { pos: usize, msg: String },
+    /// A required document property or schema field was missing.
+    MissingField(String),
+    /// A value had an unexpected type; `(expected, got)`.
+    TypeMismatch { expected: String, got: String },
+    /// An LLM call failed after retries (rate limit, malformed output, ...).
+    Llm(String),
+    /// The prompt plus context exceeded the model's context window;
+    /// `(needed_tokens, window_tokens)`.
+    ContextOverflow { needed: usize, window: usize },
+    /// Query planning failed (unparseable question, invalid plan, ...).
+    Plan(String),
+    /// Plan validation failed: the plan references unknown operators, fields,
+    /// or has a malformed DAG.
+    InvalidPlan(String),
+    /// Execution-time failure in a Sycamore pipeline.
+    Exec(String),
+    /// An index operation failed (unknown index, dimension mismatch, ...).
+    Index(String),
+    /// I/O failure (materialize to disk, corpus files).
+    Io(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for ArynError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArynError::Json { pos, msg } => write!(f, "json error at byte {pos}: {msg}"),
+            ArynError::MissingField(name) => write!(f, "missing field: {name}"),
+            ArynError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            ArynError::Llm(msg) => write!(f, "llm error: {msg}"),
+            ArynError::ContextOverflow { needed, window } => write!(
+                f,
+                "context overflow: {needed} tokens needed, window is {window}"
+            ),
+            ArynError::Plan(msg) => write!(f, "planning error: {msg}"),
+            ArynError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            ArynError::Exec(msg) => write!(f, "execution error: {msg}"),
+            ArynError::Index(msg) => write!(f, "index error: {msg}"),
+            ArynError::Io(msg) => write!(f, "io error: {msg}"),
+            ArynError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArynError {}
+
+impl From<std::io::Error> for ArynError {
+    fn from(e: std::io::Error) -> Self {
+        ArynError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArynError::ContextOverflow {
+            needed: 9000,
+            window: 8192,
+        };
+        let s = e.to_string();
+        assert!(s.contains("9000") && s.contains("8192"));
+        assert!(ArynError::MissingField("state".into())
+            .to_string()
+            .contains("state"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ArynError = io.into();
+        assert!(matches!(e, ArynError::Io(_)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Identifiers and deterministic hashing.
+//!
+//! Everything in Aryn-RS is reproducible from a seed: corpora, noise draws,
+//! and simulated-LLM behaviour all derive their randomness from stable 64-bit
+//! hashes computed here (FNV-1a — fast, dependency-free, and stable across
+//! platforms and Rust versions, unlike `DefaultHasher`).
+
+use std::fmt;
+
+/// Stable FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Combines a seed with any number of string parts into a stable hash,
+/// suitable for seeding an RNG: `stable_hash(seed, &["model", prompt])`.
+pub fn stable_hash(seed: u64, parts: &[&str]) -> u64 {
+    let mut h = fnv1a(&seed.to_le_bytes());
+    for p in parts {
+        // Mix in a separator so ("ab","c") != ("a","bc").
+        h ^= fnv1a(p.as_bytes()).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = h.rotate_left(17).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Identifier of a document within a DocSet / corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub String);
+
+impl DocId {
+    pub fn new(s: impl Into<String>) -> DocId {
+        DocId(s.into())
+    }
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DocId {
+    fn from(s: &str) -> Self {
+        DocId(s.to_string())
+    }
+}
+impl From<String> for DocId {
+    fn from(s: String) -> Self {
+        DocId(s)
+    }
+}
+
+/// Identifier of an element (leaf chunk) within a document: the document id
+/// plus the element's index in a pre-order walk.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId {
+    pub doc: DocId,
+    pub index: usize,
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.doc, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // FNV-1a reference values.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn stable_hash_separates_parts() {
+        assert_ne!(stable_hash(1, &["ab", "c"]), stable_hash(1, &["a", "bc"]));
+        assert_ne!(stable_hash(1, &["x"]), stable_hash(2, &["x"]));
+        assert_eq!(stable_hash(7, &["m", "p"]), stable_hash(7, &["m", "p"]));
+    }
+
+    #[test]
+    fn ids_display() {
+        let e = ElementId {
+            doc: DocId::new("ntsb-0001"),
+            index: 3,
+        };
+        assert_eq!(e.to_string(), "ntsb-0001#3");
+    }
+}

@@ -1,0 +1,33 @@
+//! # aryn-core
+//!
+//! Shared substrate for Aryn-RS, a Rust reproduction of *"The Design of an
+//! LLM-powered Unstructured Analytics System"* (CIDR 2025):
+//!
+//! * [`Value`] / [`json`] — the JSON-like property data model, with a strict
+//!   parser and a lenient parser for repairing LLM output;
+//! * [`Document`] / [`Element`] / [`Table`] — the hierarchical, multi-modal
+//!   document model DocSets flow through;
+//! * [`BBox`] — page geometry for the partitioner;
+//! * [`text`] — tokenization, stemming, sentence splitting, token counting;
+//! * [`ids`] — deterministic hashing and identifiers;
+//! * [`LineageRecord`] — provenance for explainability.
+
+pub mod bbox;
+pub mod document;
+pub mod error;
+pub mod ids;
+pub mod json;
+pub mod lexicon;
+pub mod lineage;
+pub mod serialize;
+pub mod table;
+pub mod text;
+pub mod value;
+
+pub use bbox::BBox;
+pub use document::{DocContent, DocNode, DocTree, Document, Element, ElementType, ImageInfo};
+pub use error::{ArynError, Result};
+pub use ids::{fnv1a, stable_hash, DocId, ElementId};
+pub use lineage::LineageRecord;
+pub use table::{Cell, Table};
+pub use value::Value;

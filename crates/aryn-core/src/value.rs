@@ -1,0 +1,419 @@
+//! JSON-like property values.
+//!
+//! Documents in Sycamore carry "a set of JSON-like key-value properties"
+//! (paper §5.1). [`Value`] is that representation: a small, ordered,
+//! deterministic JSON data model used for document properties, LLM responses,
+//! and Luna query plans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-like value.
+///
+/// Objects use a [`BTreeMap`] so that serialization and iteration order are
+/// deterministic — important for reproducible corpora, stable hashing of LLM
+/// prompts, and property-test shrinking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`, also used for "missing" in analytic transforms.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integral number. Kept separate from [`Value::Float`] so counts and ids
+    /// survive round-trips exactly.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Key-ordered object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns an empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// True if this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64 if it is an integer (or an integral float).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 if it is numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object access.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key on an object; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Looks up a dotted path, e.g. `"properties.entity.state"`.
+    ///
+    /// Each path segment indexes an object field; an integer segment indexes
+    /// into an array. Returns `None` if any step is missing.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                Value::Object(m) => m.get(seg)?,
+                Value::Array(a) => a.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Inserts `value` at a dotted path, creating intermediate objects.
+    ///
+    /// Returns the previous value at the leaf, if any. Intermediate non-object
+    /// values are replaced by objects.
+    pub fn set_path(&mut self, path: &str, value: Value) -> Option<Value> {
+        let mut cur = self;
+        let segs: Vec<&str> = path.split('.').collect();
+        for seg in &segs[..segs.len() - 1] {
+            if !matches!(cur, Value::Object(_)) {
+                *cur = Value::object();
+            }
+            cur = cur
+                .as_object_mut()
+                .expect("just ensured object")
+                .entry((*seg).to_string())
+                .or_insert_with(Value::object);
+        }
+        if !matches!(cur, Value::Object(_)) {
+            *cur = Value::object();
+        }
+        cur.as_object_mut()
+            .expect("just ensured object")
+            .insert(segs[segs.len() - 1].to_string(), value)
+    }
+
+    /// A short name for the value's JSON type, for error messages and schemas.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Compares two values with a total order suitable for sorting document
+    /// properties: `null < bool < number < string < array < object`.
+    ///
+    /// Numbers compare numerically across `Int`/`Float`; NaN sorts last among
+    /// numbers. This is the order used by Sycamore's `sort` transform, which
+    /// must "handle missing values" (paper §5.2) — `Null` sorts first.
+    pub fn cmp_total(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+                Array(_) => 4,
+                Object(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (a @ (Int(_) | Float(_)), b @ (Int(_) | Float(_))) => {
+                let (x, y) = (
+                    a.as_float().expect("numeric"),
+                    b.as_float().expect("numeric"),
+                );
+                x.partial_cmp(&y).unwrap_or_else(|| {
+                    // NaN handling: NaN sorts after any non-NaN number.
+                    match (x.is_nan(), y.is_nan()) {
+                        (true, true) => Equal,
+                        (true, false) => Greater,
+                        (false, true) => Less,
+                        (false, false) => unreachable!("partial_cmp only fails on NaN"),
+                    }
+                })
+            }
+            (Str(a), Str(b)) => a.cmp(b),
+            (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.cmp_total(y);
+                    if o != Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Object(a), Object(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let o = ka.cmp(kb);
+                    if o != Equal {
+                        return o;
+                    }
+                    let o = va.cmp_total(vb);
+                    if o != Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Loose equality used by query predicates: numeric types compare
+    /// numerically, strings compare case-insensitively.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.eq_ignore_ascii_case(b),
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a == b,
+            },
+        }
+    }
+
+    /// Renders the value as display text (strings unquoted), used when
+    /// interpolating properties into prompts.
+    pub fn display_text(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// Builds a [`Value::Object`] from `key => value` pairs.
+///
+/// ```
+/// use aryn_core::obj;
+/// let v = obj! { "state" => "AK", "fatal" => 0 };
+/// assert_eq!(v.get("state").unwrap().as_str(), Some("AK"));
+/// ```
+#[macro_export]
+macro_rules! obj {
+    ( $( $k:expr => $v:expr ),* $(,)? ) => {{
+        let mut m = std::collections::BTreeMap::new();
+        $( m.insert($k.to_string(), $crate::Value::from($v)); )*
+        $crate::Value::Object(m)
+    }};
+}
+
+/// Builds a [`Value::Array`] from values.
+#[macro_export]
+macro_rules! arr {
+    ( $( $v:expr ),* $(,)? ) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($v) ),* ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(Value::from(3i64).as_int(), Some(3));
+        assert_eq!(Value::from(3.0).as_int(), Some(3));
+        assert_eq!(Value::from(3.5).as_int(), None);
+        assert_eq!(Value::from(3i64).as_float(), Some(3.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn path_get_and_set() {
+        let mut v = Value::object();
+        assert!(v.set_path("a.b.c", Value::from(1i64)).is_none());
+        assert_eq!(v.get_path("a.b.c").unwrap().as_int(), Some(1));
+        let prev = v.set_path("a.b.c", Value::from(2i64)).unwrap();
+        assert_eq!(prev.as_int(), Some(1));
+        assert!(v.get_path("a.b.missing").is_none());
+        // Array indexing in paths.
+        let arr = obj! { "xs" => vec![10i64, 20, 30] };
+        assert_eq!(arr.get_path("xs.1").unwrap().as_int(), Some(20));
+        assert!(arr.get_path("xs.9").is_none());
+    }
+
+    #[test]
+    fn set_path_replaces_scalar_intermediate() {
+        let mut v = obj! { "a" => 5i64 };
+        v.set_path("a.b", Value::from(1i64));
+        assert_eq!(v.get_path("a.b").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let vals = [
+            Value::Null,
+            Value::from(false),
+            Value::from(-1i64),
+            Value::from("a"),
+            arr![1i64],
+            Value::object(),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].cmp_total(&w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn total_order_mixed_numbers() {
+        assert_eq!(
+            Value::from(1i64).cmp_total(&Value::from(1.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::from(2.0).cmp_total(&Value::from(2i64)),
+            Ordering::Equal
+        );
+        // NaN sorts after numbers, equal to itself.
+        let nan = Value::from(f64::NAN);
+        assert_eq!(Value::from(1e9).cmp_total(&nan), Ordering::Less);
+        assert_eq!(nan.cmp_total(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn loose_eq_semantics() {
+        assert!(Value::from("Wind").loose_eq(&Value::from("wind")));
+        assert!(Value::from(2i64).loose_eq(&Value::from(2.0)));
+        assert!(!Value::from("2").loose_eq(&Value::from(2i64)));
+    }
+
+    #[test]
+    fn array_order_is_lexicographic() {
+        assert_eq!(arr![1i64, 2].cmp_total(&arr![1i64, 2, 0]), Ordering::Less);
+        assert_eq!(arr![1i64, 3].cmp_total(&arr![1i64, 2, 9]), Ordering::Greater);
+    }
+
+    #[test]
+    fn obj_macro_builds_sorted_object() {
+        let v = obj! { "b" => 1i64, "a" => 2i64 };
+        let keys: Vec<_> = v.as_object().unwrap().keys().cloned().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_text_unquotes_strings() {
+        assert_eq!(Value::from("hi").display_text(), "hi");
+        assert_eq!(Value::from(2i64).display_text(), "2");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for corpus generation and page layout.
+
+use aryn_docgen::layout::{Block, LayoutEngine, PAGE_H, PAGE_W};
+use aryn_docgen::{Corpus, EarningsRecord, NtsbRecord};
+use proptest::prelude::*;
+
+fn blocks_strategy() -> impl Strategy<Value = Vec<Block>> {
+    prop::collection::vec(
+        prop_oneof![
+            "[a-zA-Z ,.]{5,200}".prop_map(Block::text),
+            "[a-zA-Z ]{3,40}".prop_map(Block::section),
+            "[a-zA-Z ]{3,40}".prop_map(Block::list_item),
+            "[a-zA-Z ]{3,40}".prop_map(|t| Block::caption(format!("Figure: {t}"))),
+            (2usize..8, 2usize..5).prop_map(|(rows, cols)| {
+                let grid: Vec<Vec<String>> = (0..rows)
+                    .map(|r| (0..cols).map(|c| format!("c{r}x{c}")).collect())
+                    .collect();
+                Block::TableBlock {
+                    table: aryn_core::Table::from_grid(&grid, true),
+                }
+            }),
+        ],
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn layout_keeps_everything_on_page(blocks in blocks_strategy()) {
+        let engine = LayoutEngine {
+            header: Some("Header".into()),
+            footer: Some("Page {page}".into()),
+        };
+        let (doc, gt) = engine.layout(&blocks);
+        prop_assert!(doc.pages >= 1);
+        for f in &doc.fragments {
+            prop_assert!(f.bbox.x0 >= 0.0 && f.bbox.x1 <= PAGE_W, "{f:?}");
+            prop_assert!(f.bbox.y0 >= 0.0 && f.bbox.y1 <= PAGE_H, "{f:?}");
+            prop_assert!(f.page < doc.pages);
+        }
+        for b in &gt.boxes {
+            prop_assert!(b.page < doc.pages);
+            prop_assert!(b.bbox.x1 <= PAGE_W + 1.0 && b.bbox.y1 <= PAGE_H + 1.0);
+        }
+        // Chrome on every page.
+        for p in 0..doc.pages {
+            prop_assert!(gt.boxes_on(p).any(|b| b.etype == aryn_core::ElementType::PageHeader));
+            prop_assert!(gt.boxes_on(p).any(|b| b.etype == aryn_core::ElementType::PageFooter));
+        }
+    }
+
+    #[test]
+    fn body_text_content_is_preserved(blocks in blocks_strategy()) {
+        // Every non-table block's words appear somewhere in the rendering.
+        let engine = LayoutEngine::default();
+        let (doc, _) = engine.layout(&blocks);
+        let rendered = doc.full_text();
+        for b in &blocks {
+            if let Block::Para { text, .. } = b {
+                for word in text.split_whitespace().take(5) {
+                    prop_assert!(rendered.contains(word), "missing {word:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_segments_reassemble_to_the_original(rows in 5usize..70) {
+        let grid: Vec<Vec<String>> = std::iter::once(vec!["K".to_string(), "V".to_string()])
+            .chain((0..rows).map(|i| vec![format!("k{i}"), i.to_string()]))
+            .collect();
+        let truth = aryn_core::Table::from_grid(&grid, true);
+        let engine = LayoutEngine::default();
+        let (_, gt) = engine.layout(&[Block::TableBlock { table: truth.clone() }]);
+        let segments: Vec<&aryn_docgen::GtBox> = gt
+            .boxes
+            .iter()
+            .filter(|b| b.etype == aryn_core::ElementType::Table)
+            .collect();
+        prop_assert!(!segments.is_empty());
+        let mut merged = segments[0].table.clone().unwrap();
+        for s in &segments[1..] {
+            prop_assert!(s.continuation);
+            merged.merge_below(s.table.as_ref().unwrap());
+        }
+        prop_assert_eq!(merged.rows, truth.rows);
+        prop_assert_eq!(merged.cols, truth.cols);
+        for r in 0..truth.rows {
+            for c in 0..truth.cols {
+                prop_assert_eq!(merged.text_at(r, c), truth.text_at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn records_are_deterministic_and_valid(seed in any::<u64>(), i in 0usize..200) {
+        let a = NtsbRecord::generate(seed, i);
+        let b = NtsbRecord::generate(seed, i);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.occupants() >= 1);
+        prop_assert!(aryn_core::lexicon::is_state_abbrev(&a.state));
+        let e = EarningsRecord::generate(seed, i);
+        prop_assert!(e.revenue_musd > 0.0);
+        prop_assert!((1..=4).contains(&e.quarter));
+        prop_assert!(matches!(e.guidance.as_str(), "raised" | "lowered" | "maintained"));
+    }
+
+    #[test]
+    fn corpus_ids_are_unique(n in 1usize..40) {
+        let c = Corpus::mixed(9, n, n);
+        let mut ids: Vec<&str> = c.docs.iter().map(|d| d.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn gold_documents_match_ground_truth_counts(n in 1usize..12) {
+        let c = Corpus::ntsb(17, n);
+        for (doc, entry) in c.gold_documents().iter().zip(&c.docs) {
+            prop_assert_eq!(doc.elements.len(), entry.ground_truth.boxes.len());
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The document store: the OpenSearch-like sink Luna scans
+//! (`context.read.opensearch(index_name="ntsb")` in the paper's Figure 6).
+//!
+//! Holds full [`Document`]s keyed by id, with structured predicate filtering
+//! over properties — the "time, hierarchy, or categories" faceting that
+//! embedding-only retrieval cannot do (paper §2).
+
+use aryn_core::{ArynError, Document, Result, Value};
+use std::collections::BTreeMap;
+
+/// A structured predicate over document properties.
+///
+/// ```
+/// use aryn_index::Predicate;
+/// use aryn_core::{obj, Document, Value};
+/// let mut doc = Document::new("d1");
+/// doc.properties = obj! { "state" => "AK", "year" => 2019i64 };
+/// let p = Predicate::And(vec![
+///     Predicate::Eq("state".into(), Value::from("ak")),
+///     Predicate::Range { path: "year".into(), lo: Some(Value::Int(2018)), hi: None },
+/// ]);
+/// assert!(p.matches(&doc));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Property equals value (loose equality: numbers numeric,
+    /// strings case-insensitive).
+    Eq(String, Value),
+    /// Property != value.
+    Ne(String, Value),
+    /// Property in numeric/string range `[lo, hi]` (inclusive); either side
+    /// optional.
+    Range {
+        path: String,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    },
+    /// Property is one of the listed values.
+    In(String, Vec<Value>),
+    /// Property exists and is non-null.
+    Exists(String),
+    /// String property contains the term (word-boundary aware).
+    Contains(String, String),
+    And(Vec<Predicate>),
+    Or(Vec<Predicate>),
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates against a document's properties. Missing properties fail
+    /// leaf predicates (except under `Not`).
+    pub fn matches(&self, doc: &Document) -> bool {
+        self.matches_value(&doc.properties)
+    }
+
+    /// Evaluates against a bare properties object.
+    pub fn matches_value(&self, props: &Value) -> bool {
+        match self {
+            Predicate::Eq(path, want) => props
+                .get_path(path)
+                .is_some_and(|v| v.loose_eq(want)),
+            Predicate::Ne(path, want) => props
+                .get_path(path)
+                .is_some_and(|v| !v.loose_eq(want)),
+            Predicate::Range { path, lo, hi } => {
+                let Some(v) = props.get_path(path) else { return false };
+                if v.is_null() {
+                    return false;
+                }
+                let ge = lo
+                    .as_ref()
+                    .is_none_or(|l| v.cmp_total(l) != std::cmp::Ordering::Less);
+                let le = hi
+                    .as_ref()
+                    .is_none_or(|h| v.cmp_total(h) != std::cmp::Ordering::Greater);
+                ge && le
+            }
+            Predicate::In(path, options) => props
+                .get_path(path)
+                .is_some_and(|v| options.iter().any(|o| v.loose_eq(o))),
+            Predicate::Exists(path) => props.get_path(path).is_some_and(|v| !v.is_null()),
+            Predicate::Contains(path, term) => props
+                .get_path(path)
+                .and_then(Value::as_str)
+                .is_some_and(|s| aryn_core::text::contains_term(s, term)),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches_value(props)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches_value(props)),
+            Predicate::Not(p) => !p.matches_value(props),
+        }
+    }
+}
+
+/// A named collection of documents.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    docs: BTreeMap<String, Document>,
+}
+
+impl DocStore {
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Inserts or replaces a document.
+    pub fn put(&mut self, doc: Document) {
+        self.docs.insert(doc.id.0.clone(), doc);
+    }
+
+    pub fn get(&self, id: &str) -> Option<&Document> {
+        self.docs.get(id)
+    }
+
+    pub fn delete(&mut self, id: &str) -> bool {
+        self.docs.remove(id).is_some()
+    }
+
+    /// All documents, id-ordered (deterministic scan order).
+    pub fn scan(&self) -> impl Iterator<Item = &Document> {
+        self.docs.values()
+    }
+
+    /// Documents matching a structured predicate.
+    pub fn filter(&self, pred: &Predicate) -> Vec<&Document> {
+        self.scan().filter(|d| pred.matches(d)).collect()
+    }
+
+    /// Distinct non-null values of a property with counts (facets).
+    pub fn facet(&self, path: &str) -> Vec<(Value, usize)> {
+        let mut counts: Vec<(Value, usize)> = Vec::new();
+        for d in self.scan() {
+            let Some(v) = d.prop(path) else { continue };
+            if v.is_null() {
+                continue;
+            }
+            match counts.iter_mut().find(|(k, _)| k.loose_eq(v)) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((v.clone(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp_total(&b.0)));
+        counts
+    }
+
+    /// The observed property schema: `path -> (type name, occurrence count)`.
+    /// This is Luna's "data schema" (§6.1), discovered from ingested data.
+    pub fn schema(&self) -> BTreeMap<String, (String, usize)> {
+        let mut out: BTreeMap<String, (String, usize)> = BTreeMap::new();
+        for d in self.scan() {
+            collect_schema("", &d.properties, &mut out);
+        }
+        out
+    }
+}
+
+fn collect_schema(prefix: &str, v: &Value, out: &mut BTreeMap<String, (String, usize)>) {
+    if let Some(obj) = v.as_object() {
+        for (k, child) in obj {
+            let path = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}.{k}")
+            };
+            match child {
+                Value::Object(_) => collect_schema(&path, child, out),
+                Value::Null => {}
+                other => {
+                    let entry = out
+                        .entry(path)
+                        .or_insert_with(|| (other.type_name().to_string(), 0));
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+}
+
+impl DocStore {
+    /// Persists the store as JSON-lines (one document per line).
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        let mut out = String::new();
+        for d in self.scan() {
+            out.push_str(&aryn_core::json::to_string(
+                &aryn_core::serialize::document_to_value(d),
+            ));
+            out.push('\n');
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| ArynError::Io(e.to_string()))?;
+        }
+        std::fs::write(path, out).map_err(|e| ArynError::Io(e.to_string()))
+    }
+
+    /// Loads a store persisted by [`DocStore::save`].
+    pub fn load(path: &std::path::Path) -> Result<DocStore> {
+        let text = std::fs::read_to_string(path).map_err(|e| ArynError::Io(e.to_string()))?;
+        let mut store = DocStore::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = aryn_core::json::parse(line)?;
+            store.put(aryn_core::serialize::document_from_value(&v)?);
+        }
+        Ok(store)
+    }
+}
+
+/// Materializes a store from documents.
+impl FromIterator<Document> for DocStore {
+    fn from_iter<I: IntoIterator<Item = Document>>(iter: I) -> DocStore {
+        let mut s = DocStore::new();
+        for d in iter {
+            s.put(d);
+        }
+        s
+    }
+}
+
+/// A registry of named stores (the "indexes" Luna plans against).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    stores: BTreeMap<String, DocStore>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, store: DocStore) {
+        self.stores.insert(name.into(), store);
+    }
+
+    pub fn get(&self, name: &str) -> Result<&DocStore> {
+        self.stores
+            .get(name)
+            .ok_or_else(|| ArynError::Index(format!("unknown index {name:?}")))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut DocStore> {
+        self.stores
+            .get_mut(name)
+            .ok_or_else(|| ArynError::Index(format!("unknown index {name:?}")))
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.stores.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_core::obj;
+
+    fn doc(id: &str, props: Value) -> Document {
+        let mut d = Document::new(id);
+        d.properties = props;
+        d
+    }
+
+    fn store() -> DocStore {
+        [
+            doc("a", obj! { "state" => "AK", "year" => 2019i64, "fatal" => 0i64, "cause" => "wind" }),
+            doc("b", obj! { "state" => "TX", "year" => 2021i64, "fatal" => 2i64, "cause" => "engine failure" }),
+            doc("c", obj! { "state" => "AK", "year" => 2022i64, "fatal" => 0i64 }),
+            doc("d", obj! { "state" => "WA", "year" => 2020i64, "fatal" => 1i64, "cause" => "wind shear" }),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn eq_and_in_filters() {
+        let s = store();
+        let ak = s.filter(&Predicate::Eq("state".into(), Value::from("ak")));
+        assert_eq!(ak.len(), 2, "case-insensitive eq");
+        let two = s.filter(&Predicate::In(
+            "state".into(),
+            vec![Value::from("TX"), Value::from("WA")],
+        ));
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn range_filters_respect_bounds_and_missing() {
+        let s = store();
+        let recent = s.filter(&Predicate::Range {
+            path: "year".into(),
+            lo: Some(Value::Int(2020)),
+            hi: None,
+        });
+        assert_eq!(recent.len(), 3);
+        let windowed = s.filter(&Predicate::Range {
+            path: "year".into(),
+            lo: Some(Value::Int(2020)),
+            hi: Some(Value::Int(2021)),
+        });
+        assert_eq!(windowed.len(), 2);
+        // Missing property fails the range.
+        let has_cause = s.filter(&Predicate::Range {
+            path: "cause".into(),
+            lo: Some(Value::from("a")),
+            hi: Some(Value::from("zzz")),
+        });
+        assert_eq!(has_cause.len(), 3);
+    }
+
+    #[test]
+    fn contains_is_word_boundary_aware() {
+        let s = store();
+        let wind = s.filter(&Predicate::Contains("cause".into(), "wind".into()));
+        assert_eq!(wind.len(), 2);
+        let shear = s.filter(&Predicate::Contains("cause".into(), "wind shear".into()));
+        assert_eq!(shear.len(), 1);
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let s = store();
+        let p = Predicate::And(vec![
+            Predicate::Eq("state".into(), Value::from("AK")),
+            Predicate::Eq("fatal".into(), Value::Int(0)),
+        ]);
+        assert_eq!(s.filter(&p).len(), 2);
+        let p = Predicate::Or(vec![
+            Predicate::Eq("state".into(), Value::from("TX")),
+            Predicate::Eq("state".into(), Value::from("WA")),
+        ]);
+        assert_eq!(s.filter(&p).len(), 2);
+        let p = Predicate::Not(Box::new(Predicate::Exists("cause".into())));
+        let missing = s.filter(&p);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].id.as_str(), "c");
+    }
+
+    #[test]
+    fn facets_count_and_rank() {
+        let s = store();
+        let f = s.facet("state");
+        assert_eq!(f[0], (Value::from("AK"), 2));
+        assert_eq!(f.len(), 3);
+        assert!(s.facet("nope").is_empty());
+    }
+
+    #[test]
+    fn schema_discovery() {
+        let s = store();
+        let schema = s.schema();
+        assert_eq!(schema["state"].0, "string");
+        assert_eq!(schema["year"].0, "int");
+        assert_eq!(schema["cause"].1, 3, "cause present in 3 docs");
+    }
+
+    #[test]
+    fn put_replaces_and_delete_removes() {
+        let mut s = store();
+        s.put(doc("a", obj! { "state" => "OR" }));
+        assert_eq!(s.get("a").unwrap().prop("state").unwrap().as_str(), Some("OR"));
+        assert!(s.delete("a"));
+        assert!(!s.delete("a"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut c = Catalog::new();
+        c.insert("ntsb", store());
+        assert!(c.get("ntsb").is_ok());
+        assert!(matches!(c.get("none"), Err(ArynError::Index(_))));
+        assert_eq!(c.names(), vec!["ntsb"]);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use aryn_core::obj;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut s = DocStore::new();
+        for i in 0..5 {
+            let mut d = Document::new(format!("d{i}"));
+            d.properties = obj! { "n" => i as i64, "state" => "AK" };
+            s.put(d);
+        }
+        let path = std::env::temp_dir().join("aryn-docstore-test/store.jsonl");
+        s.save(&path).unwrap();
+        let loaded = DocStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 5);
+        assert_eq!(
+            loaded.get("d3").unwrap().prop("n").unwrap().as_int(),
+            Some(3)
+        );
+        // Schema and facets survive.
+        assert_eq!(loaded.schema()["state"].1, 5);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn load_rejects_corrupt_lines() {
+        let path = std::env::temp_dir().join("aryn-docstore-corrupt.jsonl");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        assert!(DocStore::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            DocStore::load(std::path::Path::new("/nonexistent/x.jsonl")),
+            Err(ArynError::Io(_))
+        ));
+    }
+}

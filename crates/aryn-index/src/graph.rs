@@ -1,0 +1,252 @@
+//! A small property-graph store — the "graph store" sink (paper §3).
+//!
+//! The paper aims "to build and continuously refine a knowledge graph in a
+//! pay-as-you-go fashion" (§7). This store holds the entities and typed
+//! relations extraction produces: nodes with properties, labeled directed
+//! edges, neighbourhood queries, and path search.
+
+use aryn_core::{ArynError, Result, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A graph node (entity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphNode {
+    pub id: String,
+    /// Entity kind, e.g. `"company"`, `"aircraft"`, `"incident"`.
+    pub label: String,
+    pub properties: Value,
+}
+
+/// A directed, labeled edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    /// Relation, e.g. `"competitor_of"`, `"occurred_in"`.
+    pub relation: String,
+}
+
+/// In-memory property graph.
+#[derive(Debug, Default)]
+pub struct GraphStore {
+    nodes: BTreeMap<String, GraphNode>,
+    edges: BTreeSet<Edge>,
+    /// adjacency: node -> outgoing edges
+    out: BTreeMap<String, BTreeSet<Edge>>,
+    /// adjacency: node -> incoming edges
+    inc: BTreeMap<String, BTreeSet<Edge>>,
+}
+
+impl GraphStore {
+    pub fn new() -> GraphStore {
+        GraphStore::default()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inserts or merges a node; properties of an existing node are merged
+    /// (pay-as-you-go refinement).
+    pub fn upsert_node(&mut self, node: GraphNode) {
+        match self.nodes.get_mut(&node.id) {
+            Some(existing) => {
+                if let (Some(dst), Some(src)) =
+                    (existing.properties.as_object_mut(), node.properties.as_object())
+                {
+                    for (k, v) in src {
+                        dst.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            None => {
+                self.nodes.insert(node.id.clone(), node);
+            }
+        }
+    }
+
+    /// Adds an edge; both endpoints must exist.
+    pub fn add_edge(&mut self, from: &str, relation: &str, to: &str) -> Result<()> {
+        if !self.nodes.contains_key(from) {
+            return Err(ArynError::Index(format!("unknown node {from:?}")));
+        }
+        if !self.nodes.contains_key(to) {
+            return Err(ArynError::Index(format!("unknown node {to:?}")));
+        }
+        let e = Edge {
+            from: from.to_string(),
+            to: to.to_string(),
+            relation: relation.to_string(),
+        };
+        self.out.entry(e.from.clone()).or_default().insert(e.clone());
+        self.inc.entry(e.to.clone()).or_default().insert(e.clone());
+        self.edges.insert(e);
+        Ok(())
+    }
+
+    pub fn node(&self, id: &str) -> Option<&GraphNode> {
+        self.nodes.get(id)
+    }
+
+    /// Nodes with a given label.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<&GraphNode> {
+        self.nodes.values().filter(|n| n.label == label).collect()
+    }
+
+    /// Outgoing neighbours via a relation (any relation if `None`).
+    pub fn neighbors(&self, id: &str, relation: Option<&str>) -> Vec<&GraphNode> {
+        self.out
+            .get(id)
+            .into_iter()
+            .flatten()
+            .filter(|e| relation.is_none_or(|r| e.relation == r))
+            .filter_map(|e| self.nodes.get(&e.to))
+            .collect()
+    }
+
+    /// Incoming neighbours via a relation (any relation if `None`).
+    pub fn incoming(&self, id: &str, relation: Option<&str>) -> Vec<&GraphNode> {
+        self.inc
+            .get(id)
+            .into_iter()
+            .flatten()
+            .filter(|e| relation.is_none_or(|r| e.relation == r))
+            .filter_map(|e| self.nodes.get(&e.from))
+            .collect()
+    }
+
+    /// Shortest undirected path between two nodes (BFS), as node ids.
+    pub fn path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        if !self.nodes.contains_key(from) || !self.nodes.contains_key(to) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from.to_string()]);
+        }
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        while let Some(cur) = q.pop_front() {
+            let out_iter = self.out.get(cur).into_iter().flatten().map(|e| e.to.as_str());
+            let in_iter = self.inc.get(cur).into_iter().flatten().map(|e| e.from.as_str());
+            for next in out_iter.chain(in_iter) {
+                if next == from || prev.contains_key(next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if next == to {
+                    // Reconstruct.
+                    let mut path = vec![to.to_string()];
+                    let mut cur = next;
+                    while let Some(p) = prev.get(cur) {
+                        path.push((*p).to_string());
+                        if *p == from {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(next);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_core::obj;
+
+    fn n(id: &str, label: &str) -> GraphNode {
+        GraphNode {
+            id: id.into(),
+            label: label.into(),
+            properties: Value::object(),
+        }
+    }
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        g.upsert_node(n("apex", "company"));
+        g.upsert_node(n("northwind", "company"));
+        g.upsert_node(n("stellar", "company"));
+        g.upsert_node(n("ai", "sector"));
+        g.add_edge("apex", "in_sector", "ai").unwrap();
+        g.add_edge("northwind", "in_sector", "ai").unwrap();
+        g.add_edge("apex", "competitor_of", "northwind").unwrap();
+        g
+    }
+
+    #[test]
+    fn neighbors_and_incoming() {
+        let g = sample();
+        let sectors = g.neighbors("apex", Some("in_sector"));
+        assert_eq!(sectors.len(), 1);
+        assert_eq!(sectors[0].id, "ai");
+        let members = g.incoming("ai", Some("in_sector"));
+        assert_eq!(members.len(), 2);
+        assert!(g.neighbors("apex", Some("nope")).is_empty());
+        assert_eq!(g.neighbors("apex", None).len(), 2);
+    }
+
+    #[test]
+    fn edges_require_existing_nodes() {
+        let mut g = sample();
+        assert!(g.add_edge("apex", "x", "ghost").is_err());
+        assert!(g.add_edge("ghost", "x", "apex").is_err());
+    }
+
+    #[test]
+    fn upsert_merges_properties() {
+        let mut g = GraphStore::new();
+        g.upsert_node(GraphNode {
+            id: "a".into(),
+            label: "company".into(),
+            properties: obj! { "sector" => "AI" },
+        });
+        g.upsert_node(GraphNode {
+            id: "a".into(),
+            label: "company".into(),
+            properties: obj! { "ceo" => "Maria Chen" },
+        });
+        let node = g.node("a").unwrap();
+        assert_eq!(node.properties.get("sector").unwrap().as_str(), Some("AI"));
+        assert_eq!(node.properties.get("ceo").unwrap().as_str(), Some("Maria Chen"));
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn path_search_is_undirected_bfs() {
+        let g = sample();
+        // stellar is disconnected.
+        assert!(g.path("apex", "stellar").is_none());
+        let p = g.path("northwind", "apex").unwrap();
+        assert_eq!(p.first().map(String::as_str), Some("northwind"));
+        assert_eq!(p.last().map(String::as_str), Some("apex"));
+        assert!(p.len() <= 3);
+        assert_eq!(g.path("apex", "apex").unwrap(), vec!["apex"]);
+        assert!(g.path("ghost", "apex").is_none());
+    }
+
+    #[test]
+    fn labels_filter() {
+        let g = sample();
+        assert_eq!(g.nodes_with_label("company").len(), 3);
+        assert_eq!(g.nodes_with_label("sector").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_dedupe() {
+        let mut g = sample();
+        let before = g.edge_count();
+        g.add_edge("apex", "competitor_of", "northwind").unwrap();
+        assert_eq!(g.edge_count(), before);
+    }
+}

@@ -1,0 +1,252 @@
+//! BM25 inverted index — the "keyword store" sink (paper §3).
+
+use aryn_core::text::analyze;
+use std::collections::BTreeMap;
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    pub k1: f64,
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub key: String,
+    pub score: f64,
+}
+
+/// An in-memory inverted index with BM25 ranking.
+///
+/// ```
+/// use aryn_index::KeywordIndex;
+/// let mut ix = KeywordIndex::new();
+/// ix.add("a", "the airplane encountered strong wind during approach");
+/// ix.add("b", "quarterly revenue grew in the software sector");
+/// let hits = ix.search("wind on approach", 5);
+/// assert_eq!(hits[0].key, "a");
+/// ```
+#[derive(Debug, Default)]
+pub struct KeywordIndex {
+    params: Bm25Params,
+    /// term -> postings (doc ordinal, term frequency)
+    postings: BTreeMap<String, Vec<(u32, u32)>>,
+    /// doc ordinal -> (external key, token length)
+    docs: Vec<(String, u32)>,
+    /// external key -> ordinal
+    by_key: BTreeMap<String, u32>,
+    total_len: u64,
+}
+
+impl KeywordIndex {
+    pub fn new() -> KeywordIndex {
+        KeywordIndex::default()
+    }
+
+    pub fn with_params(params: Bm25Params) -> KeywordIndex {
+        KeywordIndex {
+            params,
+            ..KeywordIndex::default()
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Indexes (or re-indexes) a document's text under `key`.
+    pub fn add(&mut self, key: impl Into<String>, text: &str) {
+        let key = key.into();
+        if self.by_key.contains_key(&key) {
+            self.remove(&key);
+        }
+        let tokens = analyze(text);
+        let ord = self.docs.len() as u32;
+        let mut tf: BTreeMap<String, u32> = BTreeMap::new();
+        for t in &tokens {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        for (term, n) in tf {
+            self.postings.entry(term).or_default().push((ord, n));
+        }
+        self.total_len += tokens.len() as u64;
+        self.by_key.insert(key.clone(), ord);
+        self.docs.push((key, tokens.len() as u32));
+    }
+
+    /// Removes a document (tombstone: postings entries are filtered lazily).
+    pub fn remove(&mut self, key: &str) {
+        if let Some(ord) = self.by_key.remove(key) {
+            let len = self.docs[ord as usize].1;
+            self.total_len -= len as u64;
+            self.docs[ord as usize].1 = 0;
+            self.docs[ord as usize].0.clear();
+            for plist in self.postings.values_mut() {
+                plist.retain(|(d, _)| *d != ord);
+            }
+        }
+    }
+
+    fn live_docs(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// BM25 search; returns up to `k` hits, best first.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let terms = analyze(query);
+        if terms.is_empty() || self.live_docs() == 0 {
+            return Vec::new();
+        }
+        let n = self.live_docs() as f64;
+        let avg_len = self.total_len as f64 / n.max(1.0);
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
+        for term in &terms {
+            let Some(plist) = self.postings.get(term) else { continue };
+            let df = plist.len() as f64;
+            let idf = (((n - df + 0.5) / (df + 0.5)) + 1.0).ln();
+            for (ord, tf) in plist {
+                let doc_len = self.docs[*ord as usize].1 as f64;
+                let tf = *tf as f64;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * doc_len / avg_len);
+                *scores.entry(*ord).or_insert(0.0) += idf * tf * (self.params.k1 + 1.0) / denom;
+            }
+        }
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .filter(|(ord, _)| !self.docs[*ord as usize].0.is_empty())
+            .map(|(ord, score)| Hit {
+                key: self.docs[ord as usize].0.clone(),
+                score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Phrase search: BM25 candidates filtered to those whose text contained
+    /// the query terms adjacently at index time is not representable from
+    /// postings alone; instead this checks all-terms-present (AND semantics).
+    pub fn search_all_terms(&self, query: &str, k: usize) -> Vec<Hit> {
+        let terms = analyze(query);
+        let hits = self.search(query, self.live_docs());
+        hits.into_iter()
+            .filter(|h| {
+                let ord = self.by_key[&h.key];
+                terms.iter().all(|t| {
+                    self.postings
+                        .get(t)
+                        .is_some_and(|p| p.iter().any(|(d, _)| *d == ord))
+                })
+            })
+            .take(k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> KeywordIndex {
+        let mut ix = KeywordIndex::new();
+        ix.add("a", "the airplane encountered wind during approach near Anchorage");
+        ix.add("b", "engine failure caused a forced landing in a field");
+        ix.add("c", "wind and fog conditions near the coast with gusting wind reported");
+        ix.add("d", "quarterly revenue grew strongly in the software sector");
+        ix
+    }
+
+    #[test]
+    fn relevant_docs_rank_first() {
+        let ix = sample_index();
+        let hits = ix.search("wind conditions", 10);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].key, "c", "{hits:?}");
+        assert!(hits.iter().any(|h| h.key == "a"));
+        assert!(!hits.iter().any(|h| h.key == "d"));
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        let mut ix = KeywordIndex::new();
+        for i in 0..20 {
+            ix.add(format!("common{i}"), "airplane airplane airplane");
+        }
+        ix.add("rare", "airplane turbulence");
+        let hits = ix.search("turbulence airplane", 5);
+        assert_eq!(hits[0].key, "rare");
+    }
+
+    #[test]
+    fn stemming_matches_variants() {
+        let ix = sample_index();
+        let hits = ix.search("gusts winds", 10);
+        assert!(hits.iter().any(|h| h.key == "c"), "{hits:?}");
+    }
+
+    #[test]
+    fn search_all_terms_requires_every_term() {
+        let ix = sample_index();
+        let both = ix.search_all_terms("wind approach", 10);
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].key, "a");
+        assert!(ix.search_all_terms("wind spaceship", 10).is_empty());
+    }
+
+    #[test]
+    fn remove_and_reindex() {
+        let mut ix = sample_index();
+        ix.remove("c");
+        let hits = ix.search("wind", 10);
+        assert!(!hits.iter().any(|h| h.key == "c"));
+        // Re-adding under the same key replaces content.
+        ix.add("a", "completely different content about icing");
+        let hits = ix.search("wind", 10);
+        assert!(!hits.iter().any(|h| h.key == "a"));
+        let hits = ix.search("icing", 10);
+        assert_eq!(hits[0].key, "a");
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let ix = sample_index();
+        assert!(ix.search("", 5).is_empty());
+        assert!(ix.search("the of and", 5).is_empty(), "stopword-only query");
+        let empty = KeywordIndex::new();
+        assert!(empty.search("wind", 5).is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let ix = sample_index();
+        assert_eq!(ix.search("wind", 1).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_key() {
+        let mut ix = KeywordIndex::new();
+        ix.add("z", "identical text");
+        ix.add("y", "identical text");
+        let hits = ix.search("identical", 5);
+        assert_eq!(hits[0].key, "y");
+        assert_eq!(hits[1].key, "z");
+    }
+}

@@ -1,0 +1,19 @@
+//! # aryn-index
+//!
+//! The index substrates DocSets are written to (paper §3: "keyword, vector,
+//! and graph stores"): a BM25 inverted index ([`keyword`]), exact and HNSW
+//! vector indexes ([`vector`]), reciprocal-rank hybrid fusion ([`hybrid`]),
+//! a property docstore with structured predicates and schema discovery
+//! ([`docstore`]), and a property graph ([`graph`]).
+
+pub mod docstore;
+pub mod graph;
+pub mod hybrid;
+pub mod keyword;
+pub mod vector;
+
+pub use docstore::{Catalog, DocStore, Predicate};
+pub use graph::{Edge, GraphNode, GraphStore};
+pub use hybrid::{fuse_hits, rrf_fuse, RRF_K};
+pub use keyword::{Bm25Params, Hit, KeywordIndex};
+pub use vector::{recall_at_k, FlatIndex, HnswIndex, HnswParams, Neighbor, VectorIndex};

@@ -1,0 +1,492 @@
+//! Vector indexes — the "vector store" sink (paper §3).
+//!
+//! Two implementations behind one trait: [`FlatIndex`] (exact brute force,
+//! the correctness baseline) and [`HnswIndex`] (hierarchical navigable small
+//! world graphs, the production ANN structure). Experiment E13 measures the
+//! recall/latency trade between them.
+
+use aryn_core::{stable_hash, ArynError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A scored neighbour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    pub key: String,
+    /// Cosine similarity in `[-1, 1]`, higher is closer.
+    pub score: f32,
+}
+
+/// Common interface for vector indexes.
+pub trait VectorIndex: Send + Sync {
+    /// Adds a vector under `key`. Errors on dimension mismatch.
+    fn add(&mut self, key: &str, vector: Vec<f32>) -> Result<()>;
+    /// Returns up to `k` nearest neighbours by cosine similarity.
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>>;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn dims(&self) -> usize;
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(v: &[f32]) -> f32 {
+    dot(v, v).sqrt()
+}
+
+/// Cosine similarity assuming nothing about normalization.
+fn cos(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Exact nearest-neighbour search by linear scan.
+#[derive(Debug)]
+pub struct FlatIndex {
+    dims: usize,
+    keys: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl FlatIndex {
+    pub fn new(dims: usize) -> FlatIndex {
+        FlatIndex {
+            dims,
+            keys: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, key: &str, vector: Vec<f32>) -> Result<()> {
+        if vector.len() != self.dims {
+            return Err(ArynError::Index(format!(
+                "dimension mismatch: index {} vs vector {}",
+                self.dims,
+                vector.len()
+            )));
+        }
+        self.keys.push(key.to_string());
+        self.vectors.push(vector);
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dims {
+            return Err(ArynError::Index(format!(
+                "dimension mismatch: index {} vs query {}",
+                self.dims,
+                query.len()
+            )));
+        }
+        let mut scored: Vec<(f32, usize)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (cos(query, v), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
+        Ok(scored
+            .into_iter()
+            .take(k)
+            .map(|(score, i)| Neighbor {
+                key: self.keys[i].clone(),
+                score,
+            })
+            .collect())
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+/// HNSW configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswParams {
+    /// Max links per node on upper layers (layer 0 uses `2 * m`).
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during search.
+    pub ef_search: usize,
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 12,
+            ef_construction: 80,
+            ef_search: 40,
+            seed: 0x45_57,
+        }
+    }
+}
+
+/// Hierarchical navigable small-world index.
+pub struct HnswIndex {
+    dims: usize,
+    params: HnswParams,
+    keys: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+    /// layers[l][node] = neighbour ids; nodes absent from a layer have no entry.
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Highest layer of each node.
+    node_level: Vec<usize>,
+    entry: Option<u32>,
+}
+
+/// Max-heap entry by similarity.
+#[derive(PartialEq)]
+struct Cand(f32, u32);
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl HnswIndex {
+    pub fn new(dims: usize, params: HnswParams) -> HnswIndex {
+        HnswIndex {
+            dims,
+            params,
+            keys: Vec::new(),
+            vectors: Vec::new(),
+            layers: Vec::new(),
+            node_level: Vec::new(),
+            entry: None,
+        }
+    }
+
+    pub fn with_dims(dims: usize) -> HnswIndex {
+        HnswIndex::new(dims, HnswParams::default())
+    }
+
+    fn random_level(&self, node: usize) -> usize {
+        // Geometric distribution with p = 1/e-like decay, deterministic per node.
+        let mut rng =
+            StdRng::seed_from_u64(stable_hash(self.params.seed, &["level", &node.to_string()]));
+        let mut level = 0usize;
+        while rng.gen::<f64>() < 1.0 / std::f64::consts::E && level < 16 {
+            level += 1;
+        }
+        level
+    }
+
+    /// Greedy search on one layer returning up to `ef` best candidates.
+    fn search_layer(&self, query: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<(f32, u32)> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        let mut candidates = BinaryHeap::new(); // max-heap by similarity
+        let mut results: Vec<(f32, u32)> = Vec::new(); // kept sorted descending
+        let e_sim = cos(query, &self.vectors[entry as usize]);
+        visited.insert(entry);
+        candidates.push(Cand(e_sim, entry));
+        results.push((e_sim, entry));
+        while let Some(Cand(sim, node)) = candidates.pop() {
+            // Stop when the best remaining candidate is worse than the worst kept.
+            let worst = results.last().map(|(s, _)| *s).unwrap_or(f32::MIN);
+            if results.len() >= ef && sim < worst {
+                break;
+            }
+            for &nb in &self.layers[layer][node as usize] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let s = cos(query, &self.vectors[nb as usize]);
+                let worst = results.last().map(|(w, _)| *w).unwrap_or(f32::MIN);
+                if results.len() < ef || s > worst {
+                    candidates.push(Cand(s, nb));
+                    let pos = results
+                        .binary_search_by(|(r, _)| {
+                            s.partial_cmp(r).unwrap_or(Ordering::Equal)
+                        })
+                        .unwrap_or_else(|p| p);
+                    results.insert(pos, (s, nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    fn link(&mut self, layer: usize, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        let max_links = if layer == 0 { self.params.m * 2 } else { self.params.m };
+        for (x, y) in [(a, b), (b, a)] {
+            let links = &mut self.layers[layer][x as usize];
+            if !links.contains(&y) {
+                links.push(y);
+            }
+            if links.len() > max_links {
+                // Prune: keep the most similar neighbours.
+                let base = self.vectors[x as usize].clone();
+                let mut scored: Vec<(f32, u32)> = self.layers[layer][x as usize]
+                    .iter()
+                    .map(|&n| (cos(&base, &self.vectors[n as usize]), n))
+                    .collect();
+                scored.sort_by(|p, q| q.0.partial_cmp(&p.0).unwrap_or(Ordering::Equal));
+                self.layers[layer][x as usize] =
+                    scored.into_iter().take(max_links).map(|(_, n)| n).collect();
+            }
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn add(&mut self, key: &str, vector: Vec<f32>) -> Result<()> {
+        if vector.len() != self.dims {
+            return Err(ArynError::Index(format!(
+                "dimension mismatch: index {} vs vector {}",
+                self.dims,
+                vector.len()
+            )));
+        }
+        let id = self.keys.len() as u32;
+        let level = self.random_level(id as usize);
+        self.keys.push(key.to_string());
+        self.vectors.push(vector);
+        self.node_level.push(level);
+        while self.layers.len() <= level {
+            // New top layer: every existing node slot exists but unlinked.
+            self.layers.push(vec![Vec::new(); self.keys.len().saturating_sub(1)]);
+        }
+        for layer in &mut self.layers {
+            layer.push(Vec::new());
+        }
+        let Some(entry) = self.entry else {
+            self.entry = Some(id);
+            return Ok(());
+        };
+        let top = self.layers.len() - 1;
+        let mut cur = entry;
+        let query = self.vectors[id as usize].clone();
+        // Descend from the top to level+1 greedily.
+        for layer in (level + 1..=top).rev() {
+            if layer >= self.layers.len() {
+                continue;
+            }
+            let found = self.search_layer(&query, cur, 1, layer);
+            if let Some((_, best)) = found.first() {
+                cur = *best;
+            }
+        }
+        // Insert with links from level down to 0.
+        for layer in (0..=level.min(top)).rev() {
+            let found = self.search_layer(&query, cur, self.params.ef_construction, layer);
+            if let Some((_, best)) = found.first() {
+                cur = *best;
+            }
+            let m = if layer == 0 { self.params.m * 2 } else { self.params.m };
+            for (_, nb) in found.into_iter().take(m) {
+                self.link(layer, id, nb);
+            }
+        }
+        // Track the entry point at the highest level.
+        if level >= self.node_level[self.entry.unwrap() as usize] {
+            self.entry = Some(id);
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dims {
+            return Err(ArynError::Index(format!(
+                "dimension mismatch: index {} vs query {}",
+                self.dims,
+                query.len()
+            )));
+        }
+        let Some(entry) = self.entry else {
+            return Ok(Vec::new());
+        };
+        let mut cur = entry;
+        for layer in (1..self.layers.len()).rev() {
+            let found = self.search_layer(query, cur, 1, layer);
+            if let Some((_, best)) = found.first() {
+                cur = *best;
+            }
+        }
+        let ef = self.params.ef_search.max(k);
+        let found = self.search_layer(query, cur, ef, 0);
+        Ok(found
+            .into_iter()
+            .take(k)
+            .map(|(score, id)| Neighbor {
+                key: self.keys[id as usize].clone(),
+                score,
+            })
+            .collect())
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+/// Recall@k of `test` against the exact index `truth` over given queries.
+pub fn recall_at_k(
+    truth: &dyn VectorIndex,
+    test: &dyn VectorIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> Result<f64> {
+    if queries.is_empty() {
+        return Ok(0.0);
+    }
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for q in queries {
+        let want: HashSet<String> = truth.search(q, k)?.into_iter().map(|n| n.key).collect();
+        let got = test.search(q, k)?;
+        hit += got.iter().filter(|n| want.contains(&n.key)).count();
+        total += want.len();
+    }
+    Ok(hit as f64 / total.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_llm::{EmbeddingModel, HashedBowEmbedder};
+
+    fn random_vectors(n: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let n = norm(&v);
+                v.iter_mut().for_each(|x| *x /= n);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_finds_exact_nearest() {
+        let mut ix = FlatIndex::new(4);
+        ix.add("x", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        ix.add("y", vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        ix.add("xy", vec![0.7, 0.7, 0.0, 0.0]).unwrap();
+        let out = ix.search(&[1.0, 0.1, 0.0, 0.0], 2).unwrap();
+        assert_eq!(out[0].key, "x");
+        assert_eq!(out[1].key, "xy");
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let mut ix = FlatIndex::new(4);
+        assert!(ix.add("a", vec![1.0]).is_err());
+        ix.add("a", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(ix.search(&[1.0], 1).is_err());
+        let mut h = HnswIndex::with_dims(4);
+        assert!(h.add("a", vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn hnsw_matches_flat_on_small_sets() {
+        // With few points HNSW degenerates to near-exhaustive search.
+        let vecs = random_vectors(30, 16, 3);
+        let mut flat = FlatIndex::new(16);
+        let mut hnsw = HnswIndex::with_dims(16);
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(&format!("v{i}"), v.clone()).unwrap();
+            hnsw.add(&format!("v{i}"), v.clone()).unwrap();
+        }
+        for q in random_vectors(10, 16, 7) {
+            let a = flat.search(&q, 1).unwrap();
+            let b = hnsw.search(&q, 1).unwrap();
+            assert_eq!(a[0].key, b[0].key);
+        }
+    }
+
+    #[test]
+    fn hnsw_recall_is_high_on_larger_sets() {
+        let vecs = random_vectors(800, 32, 5);
+        let mut flat = FlatIndex::new(32);
+        let mut hnsw = HnswIndex::with_dims(32);
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(&format!("v{i}"), v.clone()).unwrap();
+            hnsw.add(&format!("v{i}"), v.clone()).unwrap();
+        }
+        let queries = random_vectors(30, 32, 11);
+        let r = recall_at_k(&flat, &hnsw, &queries, 10).unwrap();
+        assert!(r > 0.85, "recall@10 = {r}");
+    }
+
+    #[test]
+    fn hnsw_on_real_embeddings() {
+        let emb = HashedBowEmbedder::new(128, 1);
+        let mut hnsw = HnswIndex::with_dims(128);
+        let texts = [
+            "wind gusts during landing approach",
+            "engine failure over mountains",
+            "record quarterly revenue growth",
+            "fog obscured the runway at night",
+        ];
+        for (i, t) in texts.iter().enumerate() {
+            hnsw.add(&format!("t{i}"), emb.embed(t)).unwrap();
+        }
+        let out = hnsw.search(&emb.embed("strong winds on approach to land"), 1).unwrap();
+        assert_eq!(out[0].key, "t0");
+    }
+
+    #[test]
+    fn empty_index_returns_empty() {
+        let h = HnswIndex::with_dims(8);
+        assert!(h.search(&[0.0; 8], 3).unwrap().is_empty());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let vecs = random_vectors(200, 16, 9);
+        let mut h = HnswIndex::with_dims(16);
+        for (i, v) in vecs.iter().enumerate() {
+            h.add(&format!("v{i}"), v.clone()).unwrap();
+        }
+        let q = &random_vectors(1, 16, 13)[0];
+        assert_eq!(h.search(q, 5).unwrap(), h.search(q, 5).unwrap());
+    }
+
+    #[test]
+    fn recall_of_truth_against_itself_is_one() {
+        let vecs = random_vectors(50, 8, 2);
+        let mut flat = FlatIndex::new(8);
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(&format!("v{i}"), v.clone()).unwrap();
+        }
+        let queries = random_vectors(5, 8, 3);
+        let r = recall_at_k(&flat, &flat, &queries, 5).unwrap();
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,332 @@
+//! The LLM client: retries, JSON repair, context budgeting, and metering.
+//!
+//! "For all of these transforms, Sycamore handles retries and model-specific
+//! details like parsing the output as JSON" (§5.2). [`LlmClient`] is where
+//! that happens: it wraps any [`LanguageModel`], truncates context to the
+//! window, retries transient failures with (simulated) backoff, repairs
+//! malformed JSON with the lenient parser, re-asks with a fresh sample when
+//! repair fails, and records every call in a shared [`UsageMeter`].
+
+use crate::model::{LanguageModel, LlmRequest, Usage};
+use aryn_core::text::{count_tokens, truncate_tokens};
+use aryn_core::{json, ArynError, Result, Value};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Aggregate usage across calls, shared by clones of a client.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct UsageStats {
+    pub calls: u64,
+    pub retries: u64,
+    pub parse_repairs: u64,
+    pub parse_failures: u64,
+    pub transient_failures: u64,
+    pub usage: Usage,
+}
+
+/// Thread-safe usage meter.
+#[derive(Debug, Default)]
+pub struct UsageMeter {
+    inner: Mutex<UsageStats>,
+}
+
+impl UsageMeter {
+    pub fn new() -> Arc<UsageMeter> {
+        Arc::new(UsageMeter::default())
+    }
+
+    pub fn snapshot(&self) -> UsageStats {
+        *self.inner.lock()
+    }
+
+    pub fn reset(&self) {
+        *self.inner.lock() = UsageStats::default();
+    }
+
+    fn record(&self, usage: &Usage) {
+        let mut s = self.inner.lock();
+        s.calls += 1;
+        s.usage.add(usage);
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut UsageStats)) {
+        f(&mut self.inner.lock());
+    }
+}
+
+/// Retry policy for one logical call.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Max attempts for transient failures.
+    pub max_transient: u32,
+    /// Max re-asks when output JSON is unparseable even leniently.
+    pub max_reask: u32,
+    /// Base of the (simulated) exponential backoff, in ms.
+    pub backoff_base_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_transient: 4,
+            max_reask: 2,
+            backoff_base_ms: 100.0,
+        }
+    }
+}
+
+/// A metering, retrying client over a [`LanguageModel`].
+#[derive(Clone)]
+pub struct LlmClient {
+    model: Arc<dyn LanguageModel>,
+    meter: Arc<UsageMeter>,
+    policy: RetryPolicy,
+}
+
+impl LlmClient {
+    pub fn new(model: Arc<dyn LanguageModel>) -> LlmClient {
+        LlmClient {
+            model,
+            meter: UsageMeter::new(),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    pub fn with_policy(mut self, policy: RetryPolicy) -> LlmClient {
+        self.policy = policy;
+        self
+    }
+
+    /// Shares an existing meter (so multiple clients aggregate together).
+    pub fn with_meter(mut self, meter: Arc<UsageMeter>) -> LlmClient {
+        self.meter = meter;
+        self
+    }
+
+    pub fn model_name(&self) -> &str {
+        self.model.name()
+    }
+
+    pub fn meter(&self) -> Arc<UsageMeter> {
+        Arc::clone(&self.meter)
+    }
+
+    pub fn stats(&self) -> UsageStats {
+        self.meter.snapshot()
+    }
+
+    /// Budget available for context text in a prompt whose fixed parts cost
+    /// `overhead_tokens`, leaving room for `max_output` completion tokens.
+    pub fn context_budget(&self, overhead_tokens: usize, max_output: usize) -> usize {
+        self.model
+            .context_window()
+            .saturating_sub(overhead_tokens + max_output + 16)
+    }
+
+    /// Truncates `context` so that `prompt_fn(context)` fits the window with
+    /// `max_output` completion tokens to spare, then returns the prompt.
+    pub fn fit_prompt(
+        &self,
+        context: &str,
+        max_output: usize,
+        prompt_fn: impl Fn(&str) -> String,
+    ) -> String {
+        let empty = prompt_fn("");
+        let overhead = count_tokens(&empty);
+        let budget = self.context_budget(overhead, max_output);
+        let fitted = truncate_tokens(context, budget);
+        prompt_fn(fitted)
+    }
+
+    /// One raw completion with transient-failure retries and metering.
+    pub fn generate(&self, prompt: &str, max_output: usize) -> Result<String> {
+        self.generate_at(prompt, max_output, 0.0, 0)
+    }
+
+    fn generate_at(
+        &self,
+        prompt: &str,
+        max_output: usize,
+        temperature: f32,
+        attempt_base: u32,
+    ) -> Result<String> {
+        let mut last_err = None;
+        for attempt in 0..self.policy.max_transient {
+            let req = LlmRequest::new(prompt)
+                .with_max_tokens(max_output)
+                .with_temperature(temperature)
+                .with_attempt(attempt_base + attempt);
+            match self.model.generate(&req) {
+                Ok(resp) => {
+                    let mut usage = resp.usage;
+                    // Simulated backoff time joins the latency account.
+                    if attempt > 0 {
+                        usage.latency_ms +=
+                            self.policy.backoff_base_ms * ((1 << (attempt - 1)) as f64);
+                    }
+                    self.meter.record(&usage);
+                    return Ok(resp.text);
+                }
+                Err(e @ ArynError::ContextOverflow { .. }) => return Err(e),
+                Err(e) => {
+                    self.meter.bump(|s| {
+                        s.transient_failures += 1;
+                        s.retries += 1;
+                    });
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| ArynError::Llm("exhausted retries".into())))
+    }
+
+    /// A completion parsed as JSON. Strategy, mirroring production stacks:
+    ///
+    /// 1. strict parse;
+    /// 2. lenient repair (fences, prose, quotes) — counted as a repair;
+    /// 3. re-ask at temperature 0.4 with a bumped attempt (fresh sample),
+    ///    up to `max_reask` times.
+    pub fn generate_json(&self, prompt: &str, max_output: usize) -> Result<Value> {
+        let mut attempt_base = 0;
+        for reask in 0..=self.policy.max_reask {
+            let temperature = if reask == 0 { 0.0 } else { 0.4 };
+            let text = self.generate_at(prompt, max_output, temperature, attempt_base)?;
+            attempt_base += self.policy.max_transient;
+            if let Ok(v) = json::parse(&text) {
+                return Ok(v);
+            }
+            match json::parse_lenient(&text) {
+                Ok(v) => {
+                    self.meter.bump(|s| s.parse_repairs += 1);
+                    return Ok(v);
+                }
+                Err(_) => {
+                    self.meter.bump(|s| {
+                        s.parse_failures += 1;
+                        if reask < self.policy.max_reask {
+                            s.retries += 1;
+                        }
+                    });
+                }
+            }
+        }
+        Err(ArynError::Llm(format!(
+            "{}: unparseable JSON after {} re-asks",
+            self.model.name(),
+            self.policy.max_reask
+        )))
+    }
+
+    /// Runs `generate_json` over many prompts, preserving order. (The
+    /// parallel executor in Sycamore parallelizes at the document level;
+    /// this is the simple sequential path.)
+    pub fn generate_json_batch(&self, prompts: &[String], max_output: usize) -> Vec<Result<Value>> {
+        prompts
+            .iter()
+            .map(|p| self.generate_json(p, max_output))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::{MockLlm, SimConfig};
+    use crate::prompt::tasks;
+    use crate::registry::{GPT35_SIM, GPT4_SIM, LLAMA7B_SIM};
+    use aryn_core::obj;
+
+    fn client(spec: &'static crate::registry::ModelSpec, cfg: SimConfig) -> LlmClient {
+        LlmClient::new(Arc::new(MockLlm::new(spec, cfg)))
+    }
+
+    #[test]
+    fn generate_json_parses_and_meters() {
+        let c = client(&GPT4_SIM, SimConfig::perfect(1));
+        let p = tasks::extract(&obj! { "city" => "string" }, "Happened near Denver, CO.");
+        let v = c.generate_json(&p, 256).unwrap();
+        assert_eq!(v.get("city").unwrap().as_str(), Some("Denver"));
+        let s = c.stats();
+        assert_eq!(s.calls, 1);
+        assert!(s.usage.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn malformed_outputs_get_repaired_or_reasked() {
+        let c = client(&LLAMA7B_SIM, SimConfig::with_seed(5));
+        let mut ok = 0;
+        for i in 0..200 {
+            let p = tasks::extract(
+                &obj! { "us_state_abbrev" => "string" },
+                &format!("Case {i} near Anchorage, AK."),
+            );
+            if c.generate_json(&p, 256).is_ok() {
+                ok += 1;
+            }
+        }
+        let s = c.stats();
+        assert!(s.parse_repairs > 0, "lenient repairs should fire: {s:?}");
+        assert!(ok >= 195, "almost all calls should eventually parse: {ok}");
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let c = client(&GPT35_SIM, SimConfig { seed: 9, transient_scale: 20.0, ..SimConfig::perfect(9) });
+        // 20x the 1% transient rate = 20% per attempt; retries should push
+        // success rate high anyway.
+        let mut ok = 0;
+        for i in 0..100 {
+            let p = tasks::filter("mentions wind", &format!("doc {i} with wind"));
+            if c.generate(&p, 64).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 95, "{ok}");
+        assert!(c.stats().transient_failures > 0);
+    }
+
+    #[test]
+    fn fit_prompt_respects_window() {
+        let c = client(&LLAMA7B_SIM, SimConfig::perfect(2));
+        let huge = "verbose filler text ".repeat(2000);
+        let p = c.fit_prompt(&huge, 256, |ctx| tasks::answer("what?", ctx));
+        assert!(count_tokens(&p) + 256 <= LLAMA7B_SIM.context_window);
+        // And the model accepts it.
+        assert!(c.generate(&p, 256).is_ok());
+    }
+
+    #[test]
+    fn context_overflow_not_retried() {
+        let c = client(&LLAMA7B_SIM, SimConfig::perfect(2));
+        let huge = "word ".repeat(6000);
+        let p = tasks::answer("what?", &huge);
+        assert!(matches!(
+            c.generate(&p, 128),
+            Err(ArynError::ContextOverflow { .. })
+        ));
+        assert_eq!(c.stats().retries, 0);
+    }
+
+    #[test]
+    fn meters_can_be_shared() {
+        let meter = UsageMeter::new();
+        let a = client(&GPT4_SIM, SimConfig::perfect(1)).with_meter(Arc::clone(&meter));
+        let b = client(&GPT35_SIM, SimConfig::perfect(1)).with_meter(Arc::clone(&meter));
+        let p = tasks::filter("x", "y");
+        a.generate(&p, 32).unwrap();
+        b.generate(&p, 32).unwrap();
+        assert_eq!(meter.snapshot().calls, 2);
+    }
+
+    #[test]
+    fn batch_preserves_order() {
+        let c = client(&GPT4_SIM, SimConfig::perfect(3));
+        let prompts: Vec<String> = ["Denver, CO.", "Austin, TX."]
+            .iter()
+            .map(|d| tasks::extract(&obj! { "us_state_abbrev" => "string" }, d))
+            .collect();
+        let out = c.generate_json_batch(&prompts, 128);
+        assert_eq!(out[0].as_ref().unwrap().get("us_state_abbrev").unwrap().as_str(), Some("CO"));
+        assert_eq!(out[1].as_ref().unwrap().get("us_state_abbrev").unwrap().as_str(), Some("TX"));
+    }
+}

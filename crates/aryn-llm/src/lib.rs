@@ -1,0 +1,23 @@
+//! # aryn-llm
+//!
+//! The LLM substrate for Aryn-RS: a provider-agnostic [`LanguageModel`]
+//! trait, a deterministic simulated implementation ([`MockLlm`]) with
+//! calibrated accuracy/cost/latency/context profiles per model tier, a
+//! retrying + JSON-repairing [`LlmClient`], and embedding models.
+//!
+//! See DESIGN.md §2 for how the simulation substitutes for hosted models
+//! while preserving the behaviours the paper's system depends on.
+
+pub mod client;
+pub mod embed;
+pub mod mock;
+pub mod model;
+pub mod prompt;
+pub mod registry;
+pub mod semantics;
+
+pub use client::{LlmClient, RetryPolicy, UsageMeter, UsageStats};
+pub use embed::{cosine, EmbeddingModel, HashedBowEmbedder};
+pub use mock::{EngineCtx, MockLlm, SimConfig, TaskEngine};
+pub use model::{LanguageModel, LlmRequest, LlmResponse, Usage};
+pub use registry::{spec_by_name, ModelSpec, TaskKind, ALL_MODELS, GPT35_SIM, GPT4_SIM, LLAMA7B_SIM};

@@ -1,0 +1,211 @@
+//! Prompt construction and parsing.
+//!
+//! Sycamore's LLM transforms use "built-in prompts" (§5.2). Ours are English
+//! instructions with machine-delimited sections, the way production systems
+//! template prompts:
+//!
+//! ```text
+//! You are a careful data analyst. Extract the requested fields ...
+//! [TASK] extract
+//! [PARAMS] {"schema": {"us_state_abbrev": "string"}}
+//! [CONTEXT]
+//! <document text>
+//! [END]
+//! Respond with JSON only.
+//! ```
+//!
+//! The simulated models parse the `[TASK]`/`[PARAMS]`/`[CONTEXT]` sections to
+//! know what semantic operation to perform; a real provider would read the
+//! English. Both travel in the same string, so token accounting, context
+//! windows, and retries all see realistic prompt sizes.
+
+use crate::registry::TaskKind;
+use aryn_core::json;
+use aryn_core::{ArynError, Result, Value};
+
+/// A parsed structured task, as the simulated model sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTask {
+    pub kind: TaskKind,
+    pub params: Value,
+    pub context: String,
+}
+
+/// Builds a task prompt from its parts.
+pub fn build_prompt(kind: TaskKind, params: &Value, context: &str) -> String {
+    let instructions = match kind {
+        TaskKind::Extract => {
+            "You are a careful data analyst. Extract the fields requested by the schema from the \
+             document below. Use null when a field cannot be determined."
+        }
+        TaskKind::Filter => {
+            "You are a careful data analyst. Decide whether the document below matches the \
+             predicate. Answer with a JSON object {\"match\": true|false}."
+        }
+        TaskKind::Classify => {
+            "You are a careful data analyst. Choose the single best label for the document below \
+             from the provided labels. Answer with {\"label\": \"...\"}."
+        }
+        TaskKind::Summarize => {
+            "You are a careful data analyst. Summarize the document below, following the \
+             instructions. Answer with {\"summary\": \"...\"}."
+        }
+        TaskKind::Answer => {
+            "You are a careful data analyst. Answer the question strictly from the context below. \
+             If the context does not contain the answer, say so. Answer with {\"answer\": \"...\"}."
+        }
+        TaskKind::Plan => {
+            "You are a query planner. Given the user's question, the data schema, and the \
+             available operators, produce a query plan as a JSON DAG."
+        }
+    };
+    format!(
+        "{instructions}\n[TASK] {}\n[PARAMS] {}\n[CONTEXT]\n{}\n[END]\nRespond with JSON only.",
+        kind.name(),
+        json::to_string(params),
+        context
+    )
+}
+
+/// Parses the structured sections back out of a prompt. Returns an error for
+/// prompts that do not follow the template (a real model would freestyle; the
+/// simulated ones refuse, which surfaces template bugs loudly in tests).
+pub fn parse_prompt(prompt: &str) -> Result<ParsedTask> {
+    let task_line = section_line(prompt, "[TASK]")
+        .ok_or_else(|| ArynError::Llm("prompt missing [TASK] section".into()))?;
+    let kind = TaskKind::from_name(task_line.trim())
+        .ok_or_else(|| ArynError::Llm(format!("unknown task kind {task_line:?}")))?;
+    let params_line = section_line(prompt, "[PARAMS]")
+        .ok_or_else(|| ArynError::Llm("prompt missing [PARAMS] section".into()))?;
+    let params = json::parse(params_line.trim())
+        .map_err(|e| ArynError::Llm(format!("bad [PARAMS] json: {e}")))?;
+    let context = between(prompt, "[CONTEXT]\n", "\n[END]")
+        .ok_or_else(|| ArynError::Llm("prompt missing [CONTEXT] section".into()))?
+        .to_string();
+    Ok(ParsedTask {
+        kind,
+        params,
+        context,
+    })
+}
+
+fn section_line<'a>(text: &'a str, tag: &str) -> Option<&'a str> {
+    let start = text.find(tag)? + tag.len();
+    let rest = &text[start..];
+    Some(rest.split('\n').next().unwrap_or(rest))
+}
+
+fn between<'a>(text: &'a str, start_tag: &str, end_tag: &str) -> Option<&'a str> {
+    let start = text.find(start_tag)? + start_tag.len();
+    let rest = &text[start..];
+    let end = rest.rfind(end_tag)?;
+    Some(&rest[..end])
+}
+
+/// Convenience constructors for the common tasks.
+pub mod tasks {
+    use super::*;
+    use aryn_core::obj;
+
+    /// Extraction prompt from a JSON schema: `{"field": "type", ...}`.
+    pub fn extract(schema: &Value, context: &str) -> String {
+        build_prompt(TaskKind::Extract, &obj! { "schema" => schema.clone() }, context)
+    }
+
+    /// Semantic yes/no predicate.
+    pub fn filter(predicate: &str, context: &str) -> String {
+        build_prompt(TaskKind::Filter, &obj! { "predicate" => predicate }, context)
+    }
+
+    /// Closed-set classification.
+    pub fn classify(question: &str, labels: &[&str], context: &str) -> String {
+        build_prompt(
+            TaskKind::Classify,
+            &obj! {
+                "question" => question,
+                "labels" => labels.iter().map(|s| Value::from(*s)).collect::<Vec<_>>(),
+            },
+            context,
+        )
+    }
+
+    /// Summarization with free-form instructions.
+    pub fn summarize(instructions: &str, context: &str) -> String {
+        build_prompt(
+            TaskKind::Summarize,
+            &obj! { "instructions" => instructions },
+            context,
+        )
+    }
+
+    /// RAG-style question answering over retrieved context.
+    pub fn answer(question: &str, context: &str) -> String {
+        build_prompt(TaskKind::Answer, &obj! { "question" => question }, context)
+    }
+
+    /// Luna's planning task.
+    pub fn plan(question: &str, schema: &Value, operators: &[&str]) -> String {
+        build_prompt(
+            TaskKind::Plan,
+            &obj! {
+                "question" => question,
+                "schema" => schema.clone(),
+                "operators" => operators.iter().map(|s| Value::from(*s)).collect::<Vec<_>>(),
+            },
+            "",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_core::obj;
+
+    #[test]
+    fn build_then_parse_roundtrip() {
+        let params = obj! { "predicate" => "caused by wind" };
+        let p = build_prompt(TaskKind::Filter, &params, "The wind gusted to 40 knots.");
+        let t = parse_prompt(&p).unwrap();
+        assert_eq!(t.kind, TaskKind::Filter);
+        assert_eq!(t.params, params);
+        assert_eq!(t.context, "The wind gusted to 40 knots.");
+    }
+
+    #[test]
+    fn context_may_contain_end_like_lines() {
+        // rfind means an [END] inside the document doesn't truncate context.
+        let ctx = "para one\n[END]\npara two";
+        let p = build_prompt(TaskKind::Summarize, &obj! { "instructions" => "short" }, ctx);
+        let t = parse_prompt(&p).unwrap();
+        assert_eq!(t.context, ctx);
+    }
+
+    #[test]
+    fn parse_rejects_nonconforming_prompts() {
+        assert!(parse_prompt("tell me a joke").is_err());
+        assert!(parse_prompt("[TASK] dance\n[PARAMS] {}\n[CONTEXT]\nx\n[END]").is_err());
+        assert!(parse_prompt("[TASK] filter\n[PARAMS] not json\n[CONTEXT]\nx\n[END]").is_err());
+    }
+
+    #[test]
+    fn task_constructors_embed_params() {
+        let p = tasks::classify("root cause?", &["wind", "fog"], "doc");
+        let t = parse_prompt(&p).unwrap();
+        assert_eq!(t.kind, TaskKind::Classify);
+        let labels = t.params.get("labels").unwrap().as_array().unwrap();
+        assert_eq!(labels.len(), 2);
+
+        let p = tasks::plan("how many incidents?", &obj! { "state" => "string" }, &["scan", "count"]);
+        let t = parse_prompt(&p).unwrap();
+        assert_eq!(t.kind, TaskKind::Plan);
+        assert_eq!(t.params.get("question").unwrap().as_str(), Some("how many incidents?"));
+    }
+
+    #[test]
+    fn english_instructions_present() {
+        let p = tasks::extract(&obj! { "state" => "string" }, "doc");
+        assert!(p.contains("data analyst"), "prompts must carry real instructions");
+        assert!(p.contains("Respond with JSON only."));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the LLM substrate.
+
+use aryn_core::{json, obj, Value};
+use aryn_llm::embed::{cosine, EmbeddingModel, HashedBowEmbedder};
+use aryn_llm::mock::{MockLlm, SimConfig};
+use aryn_llm::model::{LanguageModel, LlmRequest};
+use aryn_llm::prompt::{build_prompt, parse_prompt, tasks};
+use aryn_llm::registry::{TaskKind, GPT4_SIM, LLAMA7B_SIM};
+use proptest::prelude::*;
+
+fn context_strategy() -> impl Strategy<Value = String> {
+    // Context text without the template's section markers (a real document
+    // would not contain "[PARAMS]" on its own line).
+    "[a-zA-Z0-9 ,.\\-]{0,300}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prompt_roundtrip_for_all_tasks(
+        predicate in "[a-zA-Z0-9 ]{1,60}",
+        context in context_strategy(),
+    ) {
+        for kind in [
+            TaskKind::Extract,
+            TaskKind::Filter,
+            TaskKind::Classify,
+            TaskKind::Summarize,
+            TaskKind::Answer,
+            TaskKind::Plan,
+        ] {
+            let params = obj! { "predicate" => predicate.as_str() };
+            let p = build_prompt(kind, &params, &context);
+            let t = parse_prompt(&p).unwrap();
+            prop_assert_eq!(t.kind, kind);
+            prop_assert_eq!(&t.params, &params);
+            prop_assert_eq!(t.context.as_str(), context.as_str());
+        }
+    }
+
+    #[test]
+    fn mock_model_never_panics_on_arbitrary_prompts(junk in ".{0,400}") {
+        let m = MockLlm::new(&LLAMA7B_SIM, SimConfig::with_seed(3));
+        let _ = m.generate(&LlmRequest::new(junk).with_max_tokens(64));
+    }
+
+    #[test]
+    fn mock_model_is_a_pure_function_of_prompt(context in context_strategy()) {
+        let m = MockLlm::new(&GPT4_SIM, SimConfig::with_seed(5));
+        let p = tasks::filter("mentions wind", &context);
+        let a = m.generate(&LlmRequest::new(p.clone()));
+        let b = m.generate(&LlmRequest::new(p));
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.text, y.text),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "mismatched results {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_accounting_scales_with_prompt(context in "[a-z ]{50,400}") {
+        let m = MockLlm::new(&GPT4_SIM, SimConfig::perfect(7));
+        let short = m
+            .generate(&LlmRequest::new(tasks::filter("x", "tiny")))
+            .unwrap();
+        let long = m
+            .generate(&LlmRequest::new(tasks::filter("x", &context)))
+            .unwrap();
+        prop_assert!(long.usage.input_tokens > short.usage.input_tokens);
+        prop_assert!(long.usage.cost_usd > short.usage.cost_usd);
+        prop_assert!(long.usage.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn embedder_outputs_unit_or_zero_norm(text in ".{0,200}") {
+        let e = HashedBowEmbedder::new(128, 9);
+        let v = e.embed(&text);
+        prop_assert_eq!(v.len(), 128);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-3 || norm == 0.0, "norm {norm}");
+    }
+
+    #[test]
+    fn cosine_self_similarity_is_one(text in "[a-z ]{3,100}") {
+        let e = HashedBowEmbedder::new(128, 9);
+        let v = e.embed(&text);
+        prop_assume!(v.iter().any(|x| *x != 0.0));
+        let sim = cosine(&v, &v).unwrap();
+        prop_assert!((sim - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lenient_parser_recovers_filter_responses(
+        context in "[a-zA-Z ,.]{5,200}",
+        seed in 0u64..500,
+    ) {
+        // Whatever the (possibly malformed) model output looks like, either
+        // lenient parsing recovers a JSON value or the client would re-ask —
+        // it must never be the case that strict parsing succeeds and lenient
+        // fails.
+        let m = MockLlm::new(&LLAMA7B_SIM, SimConfig { malformed_scale: 3.0, ..SimConfig::with_seed(seed) });
+        let p = tasks::filter("mentions wind", &context);
+        if let Ok(resp) = m.generate(&LlmRequest::new(p)) {
+            let strict = json::parse(&resp.text).is_ok();
+            let lenient = json::parse_lenient(&resp.text).is_ok();
+            prop_assert!(!strict || lenient);
+            if lenient {
+                let v = json::parse_lenient(&resp.text).unwrap();
+                prop_assert!(v.get("match").and_then(Value::as_bool).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_only_returns_requested_fields(city in prop_oneof![Just("Denver"), Just("Boston"), Just("Austin")]) {
+        let m = MockLlm::new(&GPT4_SIM, SimConfig::perfect(11));
+        let schema = obj! { "city" => "string" };
+        let p = tasks::extract(&schema, &format!("The event took place in {city} last week."));
+        let resp = m.generate(&LlmRequest::new(p)).unwrap();
+        let v = json::parse_lenient(&resp.text).unwrap();
+        let obj = v.as_object().unwrap();
+        prop_assert_eq!(obj.len(), 1);
+        prop_assert_eq!(v.get("city").unwrap().as_str(), Some(city));
+    }
+}

@@ -1,0 +1,163 @@
+//! OCR simulation.
+//!
+//! "Many enterprise documents contain images of printed or handwritten text,
+//! requiring an OCR step" (§4). The raster stand-in carries the text that is
+//! "printed in" the image; the simulated OCR engine recovers it with a
+//! configurable character error rate using the three classic OCR error
+//! shapes: substitution (visually confusable glyphs), deletion, insertion.
+
+use aryn_core::stable_hash;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// OCR engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OcrEngine {
+    /// Per-character error probability.
+    pub char_error_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for OcrEngine {
+    fn default() -> Self {
+        OcrEngine {
+            char_error_rate: 0.02,
+            seed: 0x0C12,
+        }
+    }
+}
+
+/// Visually-confusable substitutions OCR engines actually make.
+const CONFUSIONS: &[(char, char)] = &[
+    ('0', 'O'),
+    ('O', '0'),
+    ('1', 'l'),
+    ('l', '1'),
+    ('I', 'l'),
+    ('5', 'S'),
+    ('S', '5'),
+    ('8', 'B'),
+    ('B', '8'),
+    ('m', 'n'),
+    ('n', 'm'),
+    ('c', 'e'),
+    ('e', 'c'),
+    ('u', 'v'),
+    ('v', 'u'),
+];
+
+impl OcrEngine {
+    /// Recognizes the text embedded in an image region. Deterministic per
+    /// `(seed, key)`.
+    pub fn recognize(&self, embedded_text: &str, key: &str) -> String {
+        if embedded_text.is_empty() {
+            return String::new();
+        }
+        let mut rng = StdRng::seed_from_u64(stable_hash(self.seed, &["ocr", key]));
+        let mut out = String::with_capacity(embedded_text.len());
+        for c in embedded_text.chars() {
+            if !rng.gen_bool(self.char_error_rate) {
+                out.push(c);
+                continue;
+            }
+            match rng.gen_range(0..3) {
+                0 => {
+                    // Substitution: a confusable glyph if known, else nearby letter.
+                    if let Some((_, sub)) = CONFUSIONS.iter().find(|(a, _)| *a == c) {
+                        out.push(*sub);
+                    } else if c.is_ascii_alphabetic() {
+                        let delta = if rng.gen_bool(0.5) { 1 } else { -1i8 };
+                        out.push(((c as i8) + delta) as u8 as char);
+                    } else {
+                        out.push(c);
+                    }
+                }
+                1 => { /* deletion */ }
+                _ => {
+                    // Insertion.
+                    out.push(c);
+                    out.push(if rng.gen_bool(0.5) { '.' } else { ' ' });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Character error rate between recognized and truth (Levenshtein / len).
+pub fn character_error_rate(recognized: &str, truth: &str) -> f64 {
+    let a: Vec<char> = recognized.chars().collect();
+    let b: Vec<char> = truth.chars().collect();
+    if b.is_empty() {
+        return if a.is_empty() { 0.0 } else { 1.0 };
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()] as f64 / b.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_rate_is_exact() {
+        let e = OcrEngine {
+            char_error_rate: 0.0,
+            seed: 1,
+        };
+        assert_eq!(e.recognize("NTSB photo ntsb-00001", "k"), "NTSB photo ntsb-00001");
+    }
+
+    #[test]
+    fn error_rate_tracks_configuration() {
+        let text = "The quick brown fox jumps over the lazy dog 0123456789. ".repeat(20);
+        for rate in [0.01, 0.05, 0.15] {
+            let e = OcrEngine {
+                char_error_rate: rate,
+                seed: 5,
+            };
+            let rec = e.recognize(&text, "k");
+            let cer = character_error_rate(&rec, &text);
+            assert!(
+                (cer - rate).abs() < rate * 0.8 + 0.01,
+                "configured {rate}, measured {cer}"
+            );
+        }
+    }
+
+    #[test]
+    fn recognition_is_deterministic_per_key() {
+        let e = OcrEngine {
+            char_error_rate: 0.1,
+            seed: 9,
+        };
+        assert_eq!(e.recognize("hello world", "a"), e.recognize("hello world", "a"));
+        assert_ne!(
+            e.recognize("hello world, how are you today", "a"),
+            e.recognize("hello world, how are you today", "b")
+        );
+    }
+
+    #[test]
+    fn cer_edge_cases() {
+        assert_eq!(character_error_rate("", ""), 0.0);
+        assert_eq!(character_error_rate("abc", ""), 1.0);
+        assert_eq!(character_error_rate("", "abc"), 1.0);
+        assert_eq!(character_error_rate("abc", "abc"), 0.0);
+        assert!((character_error_rate("abd", "abc") - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_image_text_is_empty() {
+        assert_eq!(OcrEngine::default().recognize("", "k"), "");
+    }
+}

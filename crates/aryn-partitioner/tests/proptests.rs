@@ -1,0 +1,124 @@
+//! Property-based tests for segmentation, noise, OCR, and evaluation.
+
+use aryn_core::{BBox, ElementType};
+use aryn_docgen::Corpus;
+use aryn_partitioner::eval::{evaluate, Detection, GtRegion};
+use aryn_partitioner::{character_error_rate, segment, Detector, OcrEngine, Partitioner};
+use proptest::prelude::*;
+
+fn boxes_strategy(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(BBox, u8)>> {
+    prop::collection::vec(
+        (0.0f32..500.0, 0.0f32..700.0, 5.0f32..100.0, 5.0f32..60.0, 0u8..11),
+        n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(x, y, w, h, cls)| (BBox::new(x, y, x + w, y + h), cls))
+            .collect()
+    })
+}
+
+fn etype(i: u8) -> ElementType {
+    ElementType::ALL[i as usize % 11]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn perfect_detections_always_score_one(gts in boxes_strategy(1..20)) {
+        let gt: Vec<GtRegion> = gts
+            .iter()
+            .enumerate()
+            .map(|(i, (bbox, cls))| GtRegion { group: i % 3, etype: etype(*cls), bbox: *bbox })
+            .collect();
+        let dets: Vec<Detection> = gt
+            .iter()
+            .map(|g| Detection { group: g.group, etype: g.etype, bbox: g.bbox, confidence: 0.9 })
+            .collect();
+        let m = evaluate(&dets, &gt);
+        prop_assert!((m.map - 1.0).abs() < 1e-9, "{}", m.map);
+        prop_assert!((m.mar - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_monotone_in_misses(gts in boxes_strategy(4..16), keep in 0usize..16) {
+        let gt: Vec<GtRegion> = gts
+            .iter()
+            .map(|(bbox, cls)| GtRegion { group: 0, etype: etype(*cls), bbox: *bbox })
+            .collect();
+        let all: Vec<Detection> = gt
+            .iter()
+            .map(|g| Detection { group: 0, etype: g.etype, bbox: g.bbox, confidence: 0.9 })
+            .collect();
+        let some: Vec<Detection> = all.iter().take(keep.min(all.len())).cloned().collect();
+        let m_all = evaluate(&all, &gt);
+        let m_some = evaluate(&some, &gt);
+        for m in [&m_all, &m_some] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m.map));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m.mar));
+        }
+        prop_assert!(m_some.mar <= m_all.mar + 1e-9, "fewer detections cannot raise recall");
+    }
+
+    #[test]
+    fn segmentation_is_deterministic(seed in 0u64..50) {
+        let corpus = Corpus::ntsb(seed, 1);
+        let a = segment(&corpus.docs[0].raw);
+        let b = segment(&corpus.docs[0].raw);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partitioned_elements_stay_in_reading_order(seed in 0u64..30) {
+        let corpus = Corpus::ntsb(seed, 1);
+        let p = Partitioner::with_detector(Detector::DetrSim);
+        let doc = p.partition(&corpus.docs[0].id, &corpus.docs[0].raw);
+        let pages: Vec<usize> = doc.elements.iter().map(|e| e.page).collect();
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(pages, sorted);
+        for e in &doc.elements {
+            prop_assert!((0.0..=1.0).contains(&e.confidence));
+        }
+    }
+
+    #[test]
+    fn ocr_cer_tracks_configured_rate(rate in 0.0f64..0.25, seed in 0u64..100) {
+        let text = "The quick brown fox jumps over 13 lazy dogs near runway 27L. ".repeat(12);
+        let engine = OcrEngine { char_error_rate: rate, seed };
+        let recognized = engine.recognize(&text, "k");
+        let cer = character_error_rate(&recognized, &text);
+        // Substitutions count 1, insertions 1, deletions 1: measured CER
+        // should be within a factor-2 band of the configured rate.
+        prop_assert!(cer <= rate * 2.0 + 0.02, "configured {rate}, measured {cer}");
+        if rate > 0.05 {
+            prop_assert!(cer >= rate * 0.3, "configured {rate}, measured {cer}");
+        }
+    }
+
+    #[test]
+    fn cer_is_a_metric_like_quantity(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+        let ab = character_error_rate(&a, &b);
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(character_error_rate(&a, &a), 0.0);
+        if !b.is_empty() {
+            // Levenshtein/len(b) is bounded by max(len) / len(b).
+            let bound = a.chars().count().max(b.chars().count()) as f64
+                / b.chars().count() as f64;
+            prop_assert!(ab <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn detection_confidences_fall_in_range(seed in 0u64..20) {
+        let corpus = Corpus::mixed(seed, 2, 2);
+        let p = Partitioner::with_detector(Detector::VendorSim);
+        for d in &corpus.docs {
+            let parsed = p.partition(&d.id, &d.raw);
+            for e in &parsed.elements {
+                prop_assert!((0.05..=0.99).contains(&e.confidence));
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Chunking for RAG: partitioned documents are cut into retrieval units of
+//! bounded token size with overlap — the standard RAG preparation step the
+//! paper contrasts with DocSet processing (§2).
+
+use aryn_core::text::count_tokens;
+use aryn_core::Document;
+
+/// Chunking configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkCfg {
+    /// Target chunk size in tokens.
+    pub target_tokens: usize,
+    /// Elements of overlap between consecutive chunks.
+    pub overlap_elements: usize,
+    /// Respect the document's section hierarchy: never pack elements from
+    /// different sections into one chunk (the semantic-tree-aware chunking
+    /// the paper's hierarchical model enables, §5.1).
+    pub by_section: bool,
+}
+
+impl Default for ChunkCfg {
+    fn default() -> Self {
+        ChunkCfg {
+            target_tokens: 180,
+            overlap_elements: 1,
+            by_section: false,
+        }
+    }
+}
+
+/// One retrieval unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    pub id: String,
+    pub doc_id: String,
+    pub text: String,
+}
+
+/// Splits a partitioned document into chunks by packing consecutive
+/// elements up to the token target. This is exactly the operation that
+/// breaks tables split across pages: each segment chunks separately unless
+/// the partitioner merged them first.
+pub fn chunk_document(doc: &Document, cfg: ChunkCfg) -> Vec<Chunk> {
+    if cfg.by_section && !doc.elements.is_empty() {
+        return chunk_by_section(doc, cfg);
+    }
+    let pieces: Vec<String> = if doc.elements.is_empty() {
+        // Unpartitioned: split raw text into sentences.
+        aryn_core::text::sentences(&doc.full_text())
+    } else {
+        doc.elements
+            .iter()
+            .map(|e| e.content_text())
+            .filter(|t| !t.is_empty())
+            .collect()
+    };
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    while start < pieces.len() {
+        let mut end = start;
+        let mut tokens = 0usize;
+        while end < pieces.len() {
+            let t = count_tokens(&pieces[end]);
+            if tokens > 0 && tokens + t > cfg.target_tokens {
+                break;
+            }
+            tokens += t;
+            end += 1;
+        }
+        let text = pieces[start..end].join("\n");
+        chunks.push(Chunk {
+            id: format!("{}::c{}", doc.id, chunks.len()),
+            doc_id: doc.id.0.clone(),
+            text,
+        });
+        if end >= pieces.len() {
+            break;
+        }
+        // Overlap: back up a few elements for continuity.
+        start = end.saturating_sub(cfg.overlap_elements).max(start + 1);
+    }
+    chunks
+}
+
+/// Section-aware chunking: each section of the semantic tree chunks
+/// independently, so a chunk never straddles a section boundary and every
+/// chunk inherits its section heading as a retrieval hook.
+fn chunk_by_section(doc: &Document, cfg: ChunkCfg) -> Vec<Chunk> {
+    let tree = doc.tree();
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    if !tree.root.body.is_empty() {
+        groups.push((String::new(), tree.root.body.clone()));
+    }
+    for section in tree.sections() {
+        let mut indices = Vec::new();
+        if let Some(h) = section.heading {
+            indices.push(h);
+        }
+        indices.extend(&section.body);
+        groups.push((section.heading_text().to_string(), indices));
+    }
+    let mut chunks = Vec::new();
+    for (heading, indices) in groups {
+        let pieces: Vec<String> = indices
+            .iter()
+            .map(|i| doc.elements[*i].content_text())
+            .filter(|t| !t.is_empty())
+            .collect();
+        let mut start = 0usize;
+        while start < pieces.len() {
+            let mut end = start;
+            let mut tokens = count_tokens(&heading);
+            while end < pieces.len() {
+                let t = count_tokens(&pieces[end]);
+                if tokens > count_tokens(&heading) && tokens + t > cfg.target_tokens {
+                    break;
+                }
+                tokens += t;
+                end += 1;
+            }
+            let mut text = String::new();
+            if !heading.is_empty() {
+                text.push_str(&heading);
+                text.push('\n');
+            }
+            text.push_str(&pieces[start..end].join("\n"));
+            chunks.push(Chunk {
+                id: format!("{}::c{}", doc.id, chunks.len()),
+                doc_id: doc.id.0.clone(),
+                text,
+            });
+            if end >= pieces.len() {
+                break;
+            }
+            start = end.saturating_sub(cfg.overlap_elements).max(start + 1);
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_core::{Element, ElementType};
+
+    fn doc(n_elements: usize, words_each: usize) -> Document {
+        let mut d = Document::new("d1");
+        for i in 0..n_elements {
+            d.elements.push(Element::text(
+                ElementType::Text,
+                format!("para{i} ") + &"word ".repeat(words_each),
+            ));
+        }
+        d
+    }
+
+    #[test]
+    fn packs_elements_to_token_target() {
+        let d = doc(20, 30);
+        let cfg = ChunkCfg {
+            target_tokens: 100,
+            overlap_elements: 0,
+            by_section: false,
+        };
+        let chunks = chunk_document(&d, cfg);
+        assert!(chunks.len() > 3);
+        for c in &chunks {
+            assert!(count_tokens(&c.text) <= 140, "{}", count_tokens(&c.text));
+            assert_eq!(c.doc_id, "d1");
+        }
+        // Every element lands in some chunk.
+        for i in 0..20 {
+            assert!(chunks.iter().any(|c| c.text.contains(&format!("para{i} "))));
+        }
+    }
+
+    #[test]
+    fn overlap_repeats_elements() {
+        let d = doc(10, 15);
+        let cfg = ChunkCfg {
+            target_tokens: 60,
+            overlap_elements: 1,
+            by_section: false,
+        };
+        let chunks = chunk_document(&d, cfg);
+        // Consecutive chunks share an element.
+        let mut shared = 0;
+        for w in chunks.windows(2) {
+            let last_para = w[0]
+                .text
+                .lines()
+                .last()
+                .and_then(|l| l.split_whitespace().next())
+                .unwrap_or("");
+            if !last_para.is_empty() && w[1].text.contains(last_para) {
+                shared += 1;
+            }
+        }
+        assert!(shared > 0);
+    }
+
+    #[test]
+    fn oversized_single_element_still_chunks() {
+        let d = doc(1, 800);
+        let chunks = chunk_document(&d, ChunkCfg::default());
+        assert_eq!(chunks.len(), 1, "one oversized element = one chunk");
+    }
+
+    #[test]
+    fn unpartitioned_document_chunks_by_sentence() {
+        let d = Document::from_text("r", "First sentence here. Second sentence there. Third one too.");
+        let chunks = chunk_document(&d, ChunkCfg { target_tokens: 6, overlap_elements: 0, by_section: false });
+        assert!(chunks.len() >= 2);
+    }
+
+    #[test]
+    fn empty_document_no_chunks() {
+        let d = Document::new("e");
+        assert!(chunk_document(&d, ChunkCfg::default()).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod section_tests {
+    use super::*;
+    use aryn_core::{Element, ElementType};
+
+    fn sectioned_doc() -> Document {
+        let mut d = Document::new("s1");
+        d.elements = vec![
+            Element::text(ElementType::Title, "Report Title"),
+            Element::text(ElementType::Text, "preamble text under the title"),
+            Element::text(ElementType::SectionHeader, "Analysis"),
+            Element::text(ElementType::Text, "analysis paragraph one with details"),
+            Element::text(ElementType::Text, "analysis paragraph two with more details"),
+            Element::text(ElementType::SectionHeader, "Findings"),
+            Element::text(ElementType::Text, "finding one about the cause"),
+        ];
+        d
+    }
+
+    #[test]
+    fn section_chunks_never_straddle_boundaries() {
+        let cfg = ChunkCfg {
+            target_tokens: 1000, // plenty: size is not the constraint here
+            overlap_elements: 0,
+            by_section: true,
+        };
+        let chunks = chunk_document(&sectioned_doc(), cfg);
+        // Each section (incl. title preamble) is its own chunk.
+        assert!(chunks.len() >= 3, "{chunks:?}");
+        let analysis = chunks.iter().find(|c| c.text.contains("Analysis")).unwrap();
+        assert!(analysis.text.contains("paragraph one"));
+        assert!(analysis.text.contains("paragraph two"));
+        assert!(!analysis.text.contains("finding one"), "crossed a boundary");
+        // Chunks carry their heading as a retrieval hook.
+        let findings = chunks.iter().find(|c| c.text.contains("finding one")).unwrap();
+        assert!(findings.text.starts_with("Findings"));
+    }
+
+    #[test]
+    fn oversized_sections_still_split_by_budget() {
+        let mut d = Document::new("s2");
+        d.elements.push(Element::text(ElementType::SectionHeader, "Big"));
+        for i in 0..12 {
+            d.elements.push(Element::text(
+                ElementType::Text,
+                format!("para{i} ") + &"word ".repeat(40),
+            ));
+        }
+        let cfg = ChunkCfg {
+            target_tokens: 120,
+            overlap_elements: 0,
+            by_section: true,
+        };
+        let chunks = chunk_document(&d, cfg);
+        assert!(chunks.len() > 2);
+        for c in &chunks {
+            assert!(c.text.starts_with("Big"), "every piece keeps the heading");
+        }
+    }
+}

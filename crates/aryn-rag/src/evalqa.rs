@@ -1,0 +1,151 @@
+//! QA evaluation harness for the RAG-degradation experiments (E8/E9/E10).
+//!
+//! Builds graded question sets from corpus ground truth: *factual* questions
+//! answerable from one document, and *aggregate* questions requiring a
+//! corpus-wide scan — the paper's "hunt and peck" vs. "sweep and harvest"
+//! distinction (§1).
+
+use aryn_core::Value;
+use aryn_docgen::Corpus;
+
+/// Question complexity class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuestionKind {
+    /// Single-document lookup ("hunt and peck").
+    Factual,
+    /// Corpus-wide computation ("sweep and harvest").
+    Aggregate,
+}
+
+/// One graded question.
+#[derive(Debug, Clone)]
+pub struct QaItem {
+    pub question: String,
+    pub expected: Value,
+    pub kind: QuestionKind,
+}
+
+/// Factual questions over an NTSB corpus: one per sampled document, keyed by
+/// report id so retrieval has a hook.
+pub fn ntsb_factual(corpus: &Corpus, max: usize) -> Vec<QaItem> {
+    let mut out = Vec::new();
+    for d in corpus.docs.iter().take(max) {
+        let rec = &d.record;
+        if let Some(city) = rec.get("city").and_then(Value::as_str) {
+            out.push(QaItem {
+                question: format!("Where did incident {} occur?", d.id),
+                expected: Value::from(city),
+                kind: QuestionKind::Factual,
+            });
+        }
+        if let Some(cause) = rec.get("cause_detail").and_then(Value::as_str) {
+            out.push(QaItem {
+                question: format!("What was the probable cause of incident {}?", d.id),
+                expected: Value::from(cause),
+                kind: QuestionKind::Factual,
+            });
+        }
+    }
+    out
+}
+
+/// Aggregate questions over an NTSB corpus, with ground-truth answers
+/// computed from the records.
+pub fn ntsb_aggregate(corpus: &Corpus) -> Vec<QaItem> {
+    let count_where = |f: &dyn Fn(&Value) -> bool| -> i64 {
+        corpus.docs.iter().filter(|d| f(&d.record)).count() as i64
+    };
+    let wind = count_where(&|r| r.get("cause_detail").and_then(Value::as_str) == Some("wind"));
+    let env = count_where(&|r| r.get("weather_related").and_then(Value::as_bool) == Some(true));
+    let fatal = count_where(&|r| r.get("fatal").and_then(Value::as_int).unwrap_or(0) > 0);
+    let mut out = vec![
+        QaItem {
+            question: "How many incidents were caused by wind?".into(),
+            expected: Value::Int(wind),
+            kind: QuestionKind::Aggregate,
+        },
+        QaItem {
+            question: "How many incidents were caused by environmental factors?".into(),
+            expected: Value::Int(env),
+            kind: QuestionKind::Aggregate,
+        },
+        QaItem {
+            question: "How many incidents involved a fatality?".into(),
+            expected: Value::Int(fatal),
+            kind: QuestionKind::Aggregate,
+        },
+    ];
+    if env > 0 {
+        out.push(QaItem {
+            question: "What percent of environmentally caused incidents were due to wind?".into(),
+            expected: Value::Float(100.0 * wind as f64 / env as f64),
+            kind: QuestionKind::Aggregate,
+        });
+    }
+    out
+}
+
+/// Accuracy summary per question kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QaReport {
+    pub factual_correct: usize,
+    pub factual_total: usize,
+    pub aggregate_correct: usize,
+    pub aggregate_total: usize,
+}
+
+impl QaReport {
+    pub fn record(&mut self, kind: QuestionKind, correct: bool) {
+        match kind {
+            QuestionKind::Factual => {
+                self.factual_total += 1;
+                self.factual_correct += usize::from(correct);
+            }
+            QuestionKind::Aggregate => {
+                self.aggregate_total += 1;
+                self.aggregate_correct += usize::from(correct);
+            }
+        }
+    }
+
+    pub fn factual_accuracy(&self) -> f64 {
+        self.factual_correct as f64 / self.factual_total.max(1) as f64
+    }
+
+    pub fn aggregate_accuracy(&self) -> f64 {
+        self.aggregate_correct as f64 / self.aggregate_total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_sets_are_grounded() {
+        let corpus = Corpus::ntsb(3, 25);
+        let factual = ntsb_factual(&corpus, 5);
+        assert_eq!(factual.len(), 10);
+        assert!(factual.iter().all(|q| q.kind == QuestionKind::Factual));
+        assert!(factual[0].question.contains("ntsb-"));
+        let agg = ntsb_aggregate(&corpus);
+        assert!(agg.len() >= 3);
+        // The percent question's expected value is consistent with counts.
+        let wind = agg[0].expected.as_int().unwrap();
+        let env = agg[1].expected.as_int().unwrap();
+        if let Some(pct) = agg.iter().find(|q| q.question.contains("percent")) {
+            let p = pct.expected.as_float().unwrap();
+            assert!((p - 100.0 * wind as f64 / env as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = QaReport::default();
+        r.record(QuestionKind::Factual, true);
+        r.record(QuestionKind::Factual, false);
+        r.record(QuestionKind::Aggregate, true);
+        assert!((r.factual_accuracy() - 0.5).abs() < 1e-9);
+        assert!((r.aggregate_accuracy() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,14 @@
+//! # aryn-rag
+//!
+//! The retrieval-augmented-generation baseline the paper contrasts with
+//! Luna (§2): chunking ([`chunker`]), a hybrid retrieve-and-stuff pipeline
+//! ([`pipeline`]), and graded QA evaluation ([`evalqa`]) used by the
+//! RAG-degradation experiments (E8–E10).
+
+pub mod chunker;
+pub mod evalqa;
+pub mod pipeline;
+
+pub use chunker::{chunk_document, Chunk, ChunkCfg};
+pub use evalqa::{ntsb_aggregate, ntsb_factual, QaItem, QaReport, QuestionKind};
+pub use pipeline::{grade, RagAnswer, RagPipeline, Retrieval};

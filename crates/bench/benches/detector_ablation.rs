@@ -1,0 +1,101 @@
+//! E15 — end-to-end detector ablation.
+//!
+//! §4's motivating claim: off-the-shelf partitioners "lacked the fidelity
+//! and accuracy we needed to get high quality results for RAG and
+//! unstructured analytics." This harness quantifies that: the same
+//! ingest-and-ask pipeline with the oracle segmenter, the DETR-class
+//! detector, and the vendor baseline. The vendor detector loses table
+//! structure and misses/mislabels regions, which degrades extraction and
+//! therefore answer accuracy — connecting experiment E1 to E6.
+//!
+//! Run with: `cargo bench -p bench --bench detector_ablation`
+
+use aryn::aryn_docgen::Corpus;
+use aryn::luna::bench18::{build_questions, grade_answer, Grade};
+use aryn::luna::{earnings_schema, ingest_lake, ntsb_schema, Luna, LunaConfig};
+use aryn::prelude::*;
+use aryn::aryn_core::Value;
+use std::sync::Arc;
+
+fn main() {
+    println!("E15: detector fidelity → extraction quality → answer accuracy\n");
+    let seed = 42;
+    let ntsb = Corpus::ntsb(seed, 60);
+    let earnings = Corpus::earnings(seed, 48);
+    println!(
+        "{:<12} {:>9} {:>11} {:>10} {:>18} {:>16}",
+        "detector", "correct", "plausible", "incorrect", "state extraction", "fatal extraction"
+    );
+    for detector in [Detector::Oracle, Detector::DetrSim, Detector::VendorSim] {
+        let ctx = Context::new();
+        ctx.register_corpus("ntsb", &ntsb);
+        ctx.register_corpus("earnings", &earnings);
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+        ingest_lake(&ctx, "ntsb", "ntsb", &client, ntsb_schema(), detector).unwrap();
+        ingest_lake(&ctx, "earnings", "earnings", &client, earnings_schema(), detector).unwrap();
+
+        // Field-level extraction accuracy vs ground truth.
+        let (state_acc, fatal_acc) = ctx
+            .with_store("ntsb", |s| {
+                let mut state_ok = 0usize;
+                let mut fatal_ok = 0usize;
+                for d in s.scan() {
+                    let truth = ntsb
+                        .record_for(d.id.as_str())
+                        .expect("record exists");
+                    if d.prop("us_state_abbrev") == truth.get("us_state_abbrev") {
+                        state_ok += 1;
+                    }
+                    if d.prop("fatal").and_then(Value::as_int)
+                        == truth.get("fatal").and_then(Value::as_int)
+                    {
+                        fatal_ok += 1;
+                    }
+                }
+                (
+                    state_ok as f64 / s.len() as f64,
+                    fatal_ok as f64 / s.len() as f64,
+                )
+            })
+            .unwrap();
+
+        // Question-level accuracy on the 18-question suite.
+        let luna = Luna::new(
+            ctx,
+            &["ntsb", "earnings"],
+            LunaConfig {
+                sim: SimConfig::with_seed(seed),
+                ..LunaConfig::default()
+            },
+        )
+        .unwrap();
+        let questions = build_questions(&ntsb, &earnings);
+        let mut c = 0;
+        let mut p = 0;
+        let mut i = 0;
+        for q in &questions {
+            match luna.ask(&q.question) {
+                Ok(ans) => match grade_answer(ans.answer(), &q.expected) {
+                    Grade::Correct => c += 1,
+                    Grade::Plausible => p += 1,
+                    Grade::Incorrect => i += 1,
+                },
+                Err(_) => i += 1,
+            }
+        }
+        println!(
+            "{:<12} {:>9} {:>11} {:>10} {:>17.0}% {:>15.0}%",
+            detector.name(),
+            c,
+            p,
+            i,
+            100.0 * state_acc,
+            100.0 * fatal_acc
+        );
+    }
+    println!(
+        "\nexpected shape (§4): answer quality tracks detector fidelity — the\n\
+         vendor baseline's lost table structure and mislabeled regions degrade\n\
+         the extracted fields every downstream plan depends on."
+    );
+}

@@ -1,0 +1,68 @@
+//! E10 — "lost in the middle": QA accuracy vs. evidence position in a long
+//! context (§2, citing Liu et al. 2023: "LLMs with extremely long contexts
+//! cannot attend to everything in the context").
+//!
+//! A needle fact is planted at varying depths in contexts of varying fill
+//! ratios; the table reports answer accuracy per (position, fill) cell. The
+//! U-shape — strong at the edges, weak in the middle, worse as the window
+//! fills — is the motivation for Luna's bounded-context plans.
+//!
+//! Run with: `cargo bench -p bench --bench lost_in_the_middle`
+
+use aryn::aryn_llm::prompt::tasks;
+use aryn::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    println!("E10: QA accuracy by evidence position and context fill (gpt-4-sim, window 8192)\n");
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(10))));
+    let positions = [0.0f64, 0.25, 0.5, 0.75, 1.0];
+    let fills = [0.25f64, 0.5, 0.9];
+    println!(
+        "{:>6} {}",
+        "fill",
+        positions
+            .iter()
+            .map(|p| format!("{:>9}", format!("pos {p}")))
+            .collect::<String>()
+    );
+    let filler = "Routine operational paragraph with unrelated administrative details follows here. ";
+    let trials = 60;
+    for fill in fills {
+        let mut row = format!("{:>6}", format!("{:.0}%", fill * 100.0));
+        for pos in positions {
+            let mut ok = 0;
+            for i in 0..trials {
+                let code = 2000 + i;
+                let evidence = format!("The special reference code for case {i} is {code}.");
+                // Build a context of roughly fill * window tokens with the
+                // evidence at the requested relative position.
+                let total_tokens = (8192.0 * fill) as usize - 400;
+                let filler_tokens = aryn::aryn_core::text::count_tokens(filler);
+                let n_fillers = total_tokens / filler_tokens;
+                let before = (n_fillers as f64 * pos) as usize;
+                let mut ctx_text = filler.repeat(before);
+                ctx_text.push_str(&evidence);
+                ctx_text.push(' ');
+                ctx_text.push_str(&filler.repeat(n_fillers - before));
+                let q = format!("What is the special reference code for case {i}?");
+                let prompt = client.fit_prompt(&ctx_text, 128, |c| tasks::answer(&q, c));
+                if let Ok(v) = client.generate_json(&prompt, 128) {
+                    if v.get("answer")
+                        .map(|a| a.display_text())
+                        .unwrap_or_default()
+                        .contains(&code.to_string())
+                    {
+                        ok += 1;
+                    }
+                }
+            }
+            row.push_str(&format!("{:>9}", format!("{:.0}%", 100.0 * ok as f64 / trials as f64)));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nexpected shape (Liu et al. 2023 / paper §2): a U-curve over position\n\
+         that deepens as the context window fills."
+    );
+}

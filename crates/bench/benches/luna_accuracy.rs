@@ -1,0 +1,46 @@
+//! E6 — the §6 Luna micro-benchmark.
+//!
+//! Paper: "Out of 18 questions, Luna answered 13 correctly, 3 plausibly,
+//! and 2 incorrectly" (72% accuracy). Questions span the earnings corpus
+//! (financial-customer style) and NTSB reports; grading is against ground
+//! truth computed from the generating records.
+//!
+//! Run with: `cargo bench -p bench --bench luna_accuracy`
+
+use aryn::luna::bench18::{tally, Bench18, Bench18Cfg, Expected, Grade};
+
+fn main() {
+    println!("E6: Luna 18-question micro-benchmark (paper: 13 correct / 3 plausible / 2 incorrect = 72%)\n");
+    let fixture = Bench18::build(Bench18Cfg::default()).expect("fixture builds");
+    let rows = fixture.run().expect("all questions execute");
+    println!("{:<70} {:<11} answer", "question", "grade");
+    for (q, a, g) in &rows {
+        let grade = match g {
+            Grade::Correct => "correct",
+            Grade::Plausible => "plausible",
+            Grade::Incorrect => "incorrect",
+        };
+        let answer: String = a.answer().chars().take(46).collect();
+        println!("{:<70} {:<11} {answer}", cut(&q.question, 68), grade);
+    }
+    let (c, p, i) = tally(&rows);
+    println!("\ntally: {c} correct / {p} plausible / {i} incorrect  (accuracy {:.0}%)", 100.0 * c as f64 / rows.len() as f64);
+    println!("paper: 13 correct / 3 plausible / 2 incorrect  (accuracy 72%)");
+
+    // The two incorrect answers come from documented planner blind spots.
+    println!("\nincorrect answers and why:");
+    for (q, a, g) in &rows {
+        if *g == Grade::Incorrect {
+            let want = match &q.expected {
+                Expected::Number { value, .. } => format!("{value:.2}"),
+                Expected::OneOf(v) => format!("{v:?}"),
+                Expected::AllOf(v) => format!("{} names", v.len()),
+            };
+            println!("  Q: {}\n     got {:?}, wanted {want} (planner misinterpretation)", q.question, cut(a.answer(), 40));
+        }
+    }
+}
+
+fn cut(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
+}

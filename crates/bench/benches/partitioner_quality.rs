@@ -1,0 +1,40 @@
+//! E1 — §4 partitioner quality table.
+//!
+//! Paper: "Our model achieved a mean average precision (mAP) of 0.602 and a
+//! mean average recall (mAR) of 0.743 ... a document API from a large cloud
+//! vendor achieved only an mAP of 0.344 with an mAR of 0.466."
+//!
+//! Run with: `cargo bench -p bench --bench partitioner_quality`
+
+use aryn::aryn_docgen::Corpus;
+use aryn::aryn_partitioner::{run_detection_benchmark, Detector};
+
+fn main() {
+    let corpus = Corpus::mixed(5, 50, 50);
+    let pages: usize = corpus.docs.iter().map(|d| d.raw.pages).sum();
+    println!(
+        "E1: document layout detection quality (COCO mAP@[.50:.95], {} docs, {pages} pages)\n",
+        corpus.len()
+    );
+    println!("{:<14} {:>7} {:>7} {:>7}   paper reference", "detector", "mAP", "mAR", "AP50");
+    let rows = [
+        (Detector::DetrSim, "mAP 0.602 / mAR 0.743 (Aryn DETR)"),
+        (Detector::VendorSim, "mAP 0.344 / mAR 0.466 (cloud vendor)"),
+        (Detector::Oracle, "(upper bound, not in paper)"),
+    ];
+    for (det, reference) in rows {
+        let m = run_detection_benchmark(det, &corpus, 1);
+        println!(
+            "{:<14} {:>7.3} {:>7.3} {:>7.3}   {reference}",
+            det.name(),
+            m.map,
+            m.mar,
+            m.ap50
+        );
+    }
+    println!("\nper-class AP@[.50:.95] (detr-sim):");
+    let m = run_detection_benchmark(Detector::DetrSim, &corpus, 1);
+    for (class, ap) in &m.per_class_ap {
+        println!("  {:<16} {:.3}", class.name(), ap);
+    }
+}

@@ -1,0 +1,53 @@
+//! E14 — partitioner throughput: pages/second for the detector backbones,
+//! with and without table-structure recovery.
+//!
+//! Run with: `cargo bench -p bench --bench partitioner_throughput`
+
+use aryn::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_partitioner(c: &mut Criterion) {
+    let corpus = Corpus::mixed(7, 12, 12);
+    let pages: usize = corpus.docs.iter().map(|d| d.raw.pages).sum();
+
+    let mut g = c.benchmark_group("partition_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pages as u64));
+    for det in [Detector::DetrSim, Detector::VendorSim, Detector::Oracle] {
+        g.bench_with_input(BenchmarkId::from_parameter(det.name()), &det, |b, &det| {
+            let p = Partitioner::with_detector(det);
+            b.iter(|| {
+                corpus
+                    .docs
+                    .iter()
+                    .map(|d| p.partition(&d.id, &d.raw).elements.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("partition_options");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pages as u64));
+    for (name, tables, merge) in [("full", true, true), ("no_tables", false, false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(tables, merge), |b, &(tables, merge)| {
+            let p = Partitioner::new(PartitionerOptions {
+                extract_tables: tables,
+                merge_tables: merge,
+                ..PartitionerOptions::default()
+            });
+            b.iter(|| {
+                corpus
+                    .docs
+                    .iter()
+                    .map(|d| p.partition(&d.id, &d.raw).elements.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

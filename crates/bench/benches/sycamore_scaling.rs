@@ -1,0 +1,67 @@
+//! E7 — §5.3 distributed execution: document-parallel scaling of a
+//! partition → extract → explode → embed pipeline across worker threads
+//! (the Ray-substitute executor).
+//!
+//! Run with: `cargo bench -p bench --bench sycamore_scaling`
+
+use aryn::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_scaling(c: &mut Criterion) {
+    let corpus = Corpus::ntsb(3, 48);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(3))));
+    let mut g = c.benchmark_group("pipeline_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let ctx = Context::new().with_exec(ExecConfig {
+                threads,
+                ..ExecConfig::default()
+            });
+            ctx.register_corpus("ntsb", &corpus);
+            b.iter(|| {
+                ctx.read_lake("ntsb")
+                    .unwrap()
+                    .partition("ntsb", PartitionCfg::default())
+                    .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+                    .explode()
+                    .embed()
+                    .count()
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Retry overhead: the same pipeline under injected worker failures.
+    let mut g = c.benchmark_group("retry_overhead");
+    g.sample_size(10);
+    for fail_rate in [0.0f64, 0.2] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("fail{fail_rate}")),
+            &fail_rate,
+            |b, &fail_rate| {
+                let ctx = Context::new().with_exec(ExecConfig {
+                    threads: 4,
+                    fail_rate,
+                    max_retries: 8,
+                    ..ExecConfig::default()
+                });
+                ctx.register_corpus("ntsb", &corpus);
+                b.iter(|| {
+                    ctx.read_lake("ntsb")
+                        .unwrap()
+                        .partition("ntsb", PartitionCfg::default())
+                        .explode()
+                        .count()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

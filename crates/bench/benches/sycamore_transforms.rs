@@ -1,0 +1,97 @@
+//! E3 — Table 1: throughput of each Sycamore transform class (core,
+//! structural, analytic, LLM-powered) on a fixed corpus.
+//!
+//! Run with: `cargo bench -p bench --bench sycamore_transforms`
+
+use aryn::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn prepared_docs(n: usize) -> (Context, Vec<Document>) {
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(1, n);
+    ctx.register_corpus("ntsb", &corpus);
+    let docs = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .partition("ntsb", PartitionCfg::default())
+        .collect()
+        .unwrap();
+    (ctx, docs)
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let (ctx, docs) = prepared_docs(64);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(1))));
+    let mut g = c.benchmark_group("table1_transforms");
+    g.sample_size(10);
+
+    // Core: map / filter / flat_map.
+    g.bench_function("core_map_filter", |b| {
+        b.iter(|| {
+            ctx.read_docs(docs.clone())
+                .map("tag", |mut d| {
+                    d.set_prop("tagged", true);
+                    d
+                })
+                .filter("has_elements", |d| !d.elements.is_empty())
+                .count()
+                .unwrap()
+        })
+    });
+
+    // Structural: partition (the expensive one) and explode.
+    let corpus = Corpus::ntsb(1, 16);
+    let pctx = Context::new();
+    pctx.register_corpus("ntsb", &corpus);
+    g.bench_function("structural_partition", |b| {
+        b.iter(|| {
+            pctx.read_lake("ntsb")
+                .unwrap()
+                .partition("ntsb", PartitionCfg::default())
+                .count()
+                .unwrap()
+        })
+    });
+    g.bench_function("structural_explode", |b| {
+        b.iter(|| ctx.read_docs(docs.clone()).explode().count().unwrap())
+    });
+
+    // Analytic: reduce_by_key + sort.
+    g.bench_function("analytic_reduce_sort", |b| {
+        b.iter(|| {
+            ctx.read_docs(docs.clone())
+                .explode()
+                .reduce_by_key("element_type", vec![("n".into(), Agg::Count)])
+                .sort_by("n", true)
+                .collect()
+                .unwrap()
+        })
+    });
+
+    // LLM-powered: llm_filter and extract_properties (simulated model; cost
+    // here is prompt building + semantics + JSON parsing).
+    g.bench_function("llm_filter", |b| {
+        b.iter(|| {
+            ctx.read_docs(docs.clone())
+                .llm_filter(&client, "caused by environmental factors")
+                .count()
+                .unwrap()
+        })
+    });
+    g.bench_function("llm_extract_properties", |b| {
+        b.iter(|| {
+            ctx.read_docs(docs.clone())
+                .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+                .count()
+                .unwrap()
+        })
+    });
+    g.bench_function("llm_embed", |b| {
+        b.iter(|| ctx.read_docs(docs.clone()).embed().count().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Code generation: plans render as Python-like Sycamore code, exactly the
+//! Figure 6 view — "The query execution code is easy for a technically savvy
+//! user to understand and modify" (§6.1).
+
+use crate::ops::{Plan, PlanOp};
+use aryn_core::json;
+
+/// Renders a plan as the Python-like Sycamore script of Figure 6.
+pub fn to_python(plan: &Plan) -> String {
+    let mut out = String::new();
+    let order = plan.topo_order().unwrap_or_default();
+    for id in &order {
+        let n = plan.node(*id).expect("topo ids exist");
+        let var = format!("out_{id}");
+        let inp = |i: usize| format!("out_{}", n.inputs.get(i).copied().unwrap_or(0));
+        let line = match &n.op {
+            PlanOp::QueryDatabase { index, prefilter } => {
+                if prefilter.is_empty() {
+                    format!("{var} = context.read.opensearch(index_name=\"{index}\")")
+                } else {
+                    let filters: Vec<String> = prefilter
+                        .iter()
+                        .map(|(k, v)| format!("{k}={}", json::to_string(v)))
+                        .collect();
+                    format!(
+                        "{var} = context.read.opensearch(index_name=\"{index}\", {})",
+                        filters.join(", ")
+                    )
+                }
+            }
+            PlanOp::BasicFilter { path, value } => format!(
+                "{var} = {}.filter_eq(\"{path}\", {})",
+                inp(0),
+                json::to_string(value)
+            ),
+            PlanOp::RangeFilter { path, lo, hi } => format!(
+                "{var} = {}.filter_range(\"{path}\", lo={}, hi={})",
+                inp(0),
+                lo.as_ref().map(json::to_string).unwrap_or_else(|| "None".into()),
+                hi.as_ref().map(json::to_string).unwrap_or_else(|| "None".into()),
+            ),
+            PlanOp::LlmFilter { predicate, model } => {
+                if model.is_empty() {
+                    format!("{var} = {}.filter(\"{predicate}\")", inp(0))
+                } else {
+                    format!("{var} = {}.filter(\"{predicate}\", model=\"{model}\")", inp(0))
+                }
+            }
+            PlanOp::LlmExtract { field, ftype, model } => {
+                if model.is_empty() {
+                    format!(
+                        "{var} = {}.extract_properties({{\"{field}\": \"{ftype}\"}})",
+                        inp(0)
+                    )
+                } else {
+                    format!(
+                        "{var} = {}.extract_properties({{\"{field}\": \"{ftype}\"}}, model=\"{model}\")",
+                        inp(0)
+                    )
+                }
+            }
+            PlanOp::Count => format!("{var} = {}.count()", inp(0)),
+            PlanOp::Aggregate { key, func, path } => {
+                if key.is_empty() {
+                    format!("{var} = {}.aggregate(\"{func}\", \"{path}\")", inp(0))
+                } else {
+                    format!(
+                        "{var} = {}.reduce_by_key(\"{key}\", \"{func}\", \"{path}\")",
+                        inp(0)
+                    )
+                }
+            }
+            PlanOp::Sort { path, descending } => {
+                format!("{var} = {}.sort(\"{path}\", descending={})", inp(0), py_bool(*descending))
+            }
+            PlanOp::TopK { path, descending, k } => format!(
+                "{var} = {}.top_k(\"{path}\", k={k}, descending={})",
+                inp(0),
+                py_bool(*descending)
+            ),
+            PlanOp::Join { on } => {
+                format!("{var} = {}.join({}, on=\"{on}\")", inp(0), inp(1))
+            }
+            PlanOp::Math { expr } => format!("{var} = math_operation(expr=\"{expr}\")"),
+            PlanOp::GraphExpand { relation, output } => format!(
+                "{var} = {}.graph_expand(relation=\"{relation}\", output=\"{output}\")",
+                inp(0)
+            ),
+            PlanOp::SummarizeData { instructions } => {
+                format!("{var} = {}.summarize_data(\"{instructions}\")", inp(0))
+            }
+            PlanOp::LlmGenerate { question } => {
+                format!("{var} = llm_generate(\"{question}\", {})", inp(0))
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("result = out_{}\n", plan.result));
+    out
+}
+
+fn py_bool(b: bool) -> &'static str {
+    if b {
+        "True"
+    } else {
+        "False"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{PlanNode, PlanOp};
+    use aryn_core::Value;
+
+    fn figure5_plan() -> Plan {
+        Plan {
+            nodes: vec![
+                PlanNode {
+                    id: 0,
+                    op: PlanOp::QueryDatabase { index: "ntsb".into(), prefilter: vec![] },
+                    inputs: vec![],
+                    description: String::new(),
+                },
+                PlanNode {
+                    id: 1,
+                    op: PlanOp::LlmFilter { predicate: "caused by environmental factors".into(), model: String::new() },
+                    inputs: vec![0],
+                    description: String::new(),
+                },
+                PlanNode { id: 2, op: PlanOp::Count, inputs: vec![1], description: String::new() },
+                PlanNode {
+                    id: 3,
+                    op: PlanOp::LlmFilter { predicate: "caused by wind".into(), model: String::new() },
+                    inputs: vec![0],
+                    description: String::new(),
+                },
+                PlanNode { id: 4, op: PlanOp::Count, inputs: vec![3], description: String::new() },
+                PlanNode {
+                    id: 5,
+                    op: PlanOp::Math { expr: "100 * {out_4}/{out_2}".into() },
+                    inputs: vec![2, 4],
+                    description: String::new(),
+                },
+            ],
+            result: 5,
+        }
+    }
+
+    #[test]
+    fn figure6_rendering_matches_paper_shape() {
+        // The paper's Figure 6 code, line for line in structure.
+        let code = to_python(&figure5_plan());
+        let lines: Vec<&str> = code.lines().collect();
+        assert_eq!(lines[0], "out_0 = context.read.opensearch(index_name=\"ntsb\")");
+        assert_eq!(lines[1], "out_1 = out_0.filter(\"caused by environmental factors\")");
+        assert_eq!(lines[2], "out_2 = out_1.count()");
+        assert_eq!(lines[3], "out_3 = out_0.filter(\"caused by wind\")");
+        assert_eq!(lines[4], "out_4 = out_3.count()");
+        assert_eq!(lines[5], "out_5 = math_operation(expr=\"100 * {out_4}/{out_2}\")");
+        assert_eq!(lines[6], "result = out_5");
+    }
+
+    #[test]
+    fn renders_every_operator() {
+        let ops = vec![
+            PlanOp::BasicFilter { path: "state".into(), value: Value::from("AK") },
+            PlanOp::RangeFilter { path: "year".into(), lo: Some(Value::Int(2019)), hi: None },
+            PlanOp::LlmExtract { field: "cause".into(), ftype: "string".into(), model: "llama-7b-sim".into() },
+            PlanOp::Aggregate { key: "state".into(), func: "count".into(), path: String::new() },
+            PlanOp::Sort { path: "year".into(), descending: true },
+            PlanOp::TopK { path: "growth_pct".into(), descending: true, k: 5 },
+            PlanOp::SummarizeData { instructions: "overview".into() },
+            PlanOp::LlmGenerate { question: "why?".into() },
+        ];
+        let mut nodes = vec![PlanNode {
+            id: 0,
+            op: PlanOp::QueryDatabase { index: "x".into(), prefilter: vec![("a".into(), Value::Int(1))] },
+            inputs: vec![],
+            description: String::new(),
+        }];
+        for (i, op) in ops.into_iter().enumerate() {
+            nodes.push(PlanNode { id: i + 1, op, inputs: vec![i], description: String::new() });
+        }
+        let result = nodes.len() - 1;
+        let code = to_python(&Plan { nodes, result });
+        for needle in [
+            "a=1", "filter_eq", "filter_range", "extract_properties", "model=\"llama-7b-sim\"",
+            "reduce_by_key", "sort(", "top_k(", "summarize_data", "llm_generate", "descending=True",
+        ] {
+            assert!(code.contains(needle), "missing {needle} in:\n{code}");
+        }
+    }
+
+    #[test]
+    fn join_renders_two_inputs() {
+        let plan = Plan {
+            nodes: vec![
+                PlanNode { id: 0, op: PlanOp::QueryDatabase { index: "a".into(), prefilter: vec![] }, inputs: vec![], description: String::new() },
+                PlanNode { id: 1, op: PlanOp::QueryDatabase { index: "b".into(), prefilter: vec![] }, inputs: vec![], description: String::new() },
+                PlanNode { id: 2, op: PlanOp::Join { on: "company".into() }, inputs: vec![0, 1], description: String::new() },
+            ],
+            result: 2,
+        };
+        let code = to_python(&plan);
+        assert!(code.contains("out_2 = out_0.join(out_1, on=\"company\")"));
+    }
+}

@@ -1,0 +1,661 @@
+//! Plan execution with full traceability.
+//!
+//! Nodes execute in topological order; each node's output (a row set or a
+//! scalar) is kept so that shared inputs (Figure 5's `out_0`) compute once.
+//! Every node leaves a [`NodeTrace`]: rows in/out, wall time, LLM calls and
+//! cost (meter deltas), and sample rows — "a detailed trace of how the
+//! answer was computed" (§2, §6.1).
+
+use crate::ops::{Plan, PlanOp};
+use aryn_core::{ArynError, Document, Result, Value};
+use aryn_index::GraphStore;
+use aryn_llm::prompt::tasks;
+use aryn_llm::LlmClient;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A node's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeOutput {
+    Rows(Vec<Document>),
+    Scalar(Value),
+}
+
+impl NodeOutput {
+    pub fn rows(&self) -> Option<&[Document]> {
+        match self {
+            NodeOutput::Rows(r) => Some(r),
+            NodeOutput::Scalar(_) => None,
+        }
+    }
+
+    pub fn scalar(&self) -> Option<&Value> {
+        match self {
+            NodeOutput::Scalar(v) => Some(v),
+            NodeOutput::Rows(_) => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            NodeOutput::Rows(r) => r.len(),
+            NodeOutput::Scalar(_) => 1,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-node execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    pub node_id: usize,
+    pub op_kind: String,
+    pub description: String,
+    pub rows_in: usize,
+    pub rows_out: usize,
+    pub wall_ms: f64,
+    pub llm_calls: u64,
+    pub cost_usd: f64,
+    /// Up to three sample row ids (provenance peek).
+    pub sample_ids: Vec<String>,
+    /// Scalar output, if the node produced one.
+    pub scalar: Option<Value>,
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LunaResult {
+    /// Final output of the result node.
+    pub output: NodeOutput,
+    /// Natural-language answer (set when the result node generates text,
+    /// otherwise a rendering of the output).
+    pub answer: String,
+    pub traces: Vec<NodeTrace>,
+}
+
+impl LunaResult {
+    pub fn total_cost(&self) -> f64 {
+        self.traces.iter().map(|t| t.cost_usd).sum()
+    }
+
+    pub fn total_llm_calls(&self) -> u64 {
+        self.traces.iter().map(|t| t.llm_calls).sum()
+    }
+
+    /// Renders the execution history as a table (the debugging view §6.1).
+    pub fn render_trace(&self) -> String {
+        let mut out =
+            String::from("node  op              rows_in  rows_out  llm_calls  cost_usd\n");
+        for t in &self.traces {
+            out.push_str(&format!(
+                "out_{:<2} {:<15} {:>7}  {:>8}  {:>9}  {:>9.4}\n",
+                t.node_id, t.op_kind, t.rows_in, t.rows_out, t.llm_calls, t.cost_usd
+            ));
+        }
+        out
+    }
+}
+
+/// Executes plans against a Sycamore context.
+pub struct PlanExecutor {
+    pub ctx: sycamore::Context,
+    /// Default client for semantic operators.
+    pub client: LlmClient,
+    /// Optional per-model clients (the optimizer pins models by name).
+    pub model_clients: BTreeMap<String, LlmClient>,
+    /// Knowledge graph for `graphExpand` nodes (None = the operator errors).
+    pub graph: Option<std::sync::Arc<GraphStore>>,
+}
+
+impl PlanExecutor {
+    pub fn new(ctx: sycamore::Context, client: LlmClient) -> PlanExecutor {
+        PlanExecutor {
+            ctx,
+            client,
+            model_clients: BTreeMap::new(),
+            graph: None,
+        }
+    }
+
+    pub fn with_graph(mut self, graph: std::sync::Arc<GraphStore>) -> PlanExecutor {
+        self.graph = Some(graph);
+        self
+    }
+
+    pub fn with_model(mut self, name: &str, client: LlmClient) -> PlanExecutor {
+        self.model_clients.insert(name.to_string(), client);
+        self
+    }
+
+    fn client_for(&self, model: &str) -> &LlmClient {
+        if model.is_empty() {
+            &self.client
+        } else {
+            self.model_clients.get(model).unwrap_or(&self.client)
+        }
+    }
+
+    /// Runs a validated plan.
+    pub fn execute(&self, plan: &Plan) -> Result<LunaResult> {
+        plan.validate()?;
+        let order = plan.topo_order()?;
+        let mut outputs: BTreeMap<usize, NodeOutput> = BTreeMap::new();
+        let mut traces = Vec::with_capacity(order.len());
+        for id in order {
+            let node = plan.node(id).expect("topo ids exist");
+            let start = Instant::now();
+            let before = self.meter_snapshot();
+            let inputs: Vec<&NodeOutput> = node
+                .inputs
+                .iter()
+                .map(|i| outputs.get(i).expect("topo order"))
+                .collect();
+            let rows_in = inputs.iter().map(|o| o.len()).sum();
+            let out = self.run_node(&node.op, &inputs, &outputs)?;
+            let after = self.meter_snapshot();
+            traces.push(NodeTrace {
+                node_id: id,
+                op_kind: node.op.kind().to_string(),
+                description: node.description.clone(),
+                rows_in,
+                rows_out: out.len(),
+                wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+                llm_calls: after.0 - before.0,
+                cost_usd: after.1 - before.1,
+                sample_ids: out
+                    .rows()
+                    .map(|r| r.iter().take(3).map(|d| d.id.0.clone()).collect())
+                    .unwrap_or_default(),
+                scalar: out.scalar().cloned(),
+            });
+            outputs.insert(id, out);
+        }
+        let output = outputs.remove(&plan.result).expect("result executed");
+        let answer = render_answer(&output);
+        Ok(LunaResult {
+            output,
+            answer,
+            traces,
+        })
+    }
+
+    fn meter_snapshot(&self) -> (u64, f64) {
+        let mut calls = self.client.stats().calls;
+        let mut cost = self.client.stats().usage.cost_usd;
+        for c in self.model_clients.values() {
+            let s = c.stats();
+            calls += s.calls;
+            cost += s.usage.cost_usd;
+        }
+        (calls, cost)
+    }
+
+    fn run_node(
+        &self,
+        op: &PlanOp,
+        inputs: &[&NodeOutput],
+        all: &BTreeMap<usize, NodeOutput>,
+    ) -> Result<NodeOutput> {
+        let rows_of = |i: usize| -> Result<Vec<Document>> {
+            inputs
+                .get(i)
+                .and_then(|o| o.rows())
+                .map(|r| r.to_vec())
+                .ok_or_else(|| ArynError::Exec(format!("{} expects a row input", op.kind())))
+        };
+        match op {
+            PlanOp::QueryDatabase { index, prefilter } => {
+                let docs = self.ctx.with_store(index, |s| {
+                    s.scan()
+                        .filter(|d| {
+                            prefilter.iter().all(|(path, val)| prop_matches(d, path, val))
+                        })
+                        .cloned()
+                        .collect::<Vec<_>>()
+                })?;
+                Ok(NodeOutput::Rows(docs))
+            }
+            PlanOp::BasicFilter { path, value } => {
+                let docs = rows_of(0)?;
+                Ok(NodeOutput::Rows(
+                    docs.into_iter()
+                        .filter(|d| prop_matches(d, path, value))
+                        .collect(),
+                ))
+            }
+            PlanOp::RangeFilter { path, lo, hi } => {
+                let docs = rows_of(0)?;
+                Ok(NodeOutput::Rows(
+                    docs.into_iter()
+                        .filter(|d| {
+                            let Some(v) = d.prop(path) else { return false };
+                            if v.is_null() {
+                                return false;
+                            }
+                            let ge = lo.as_ref().is_none_or(|l| {
+                                v.cmp_total(l) != std::cmp::Ordering::Less
+                            });
+                            let le = hi.as_ref().is_none_or(|h| {
+                                v.cmp_total(h) != std::cmp::Ordering::Greater
+                            });
+                            ge && le
+                        })
+                        .collect(),
+                ))
+            }
+            PlanOp::LlmFilter { predicate, model } => {
+                let docs = rows_of(0)?;
+                let client = self.client_for(model);
+                let out = self
+                    .ctx
+                    .read_docs(docs)
+                    .llm_filter(client, predicate)
+                    .collect()?;
+                Ok(NodeOutput::Rows(out))
+            }
+            PlanOp::LlmExtract { field, ftype, model } => {
+                let docs = rows_of(0)?;
+                let client = self.client_for(model);
+                let schema = aryn_core::obj! { field.as_str() => ftype.as_str() };
+                let out = self
+                    .ctx
+                    .read_docs(docs)
+                    .extract_properties(client, schema)
+                    .collect()?;
+                Ok(NodeOutput::Rows(out))
+            }
+            PlanOp::Count => Ok(NodeOutput::Scalar(Value::Int(rows_of(0)?.len() as i64))),
+            PlanOp::Aggregate { key, func, path } => {
+                let docs = rows_of(0)?;
+                if key.is_empty() {
+                    // Whole-collection aggregate → scalar.
+                    let agg = agg_from_name(func, path)?;
+                    let groups =
+                        sycamore::transforms::reduce_by_key(docs, "__all__", &[("value".into(), agg)]);
+                    let v = groups
+                        .first()
+                        .and_then(|g| g.prop("value"))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    Ok(NodeOutput::Scalar(v))
+                } else {
+                    let agg = agg_from_name(func, path)?;
+                    Ok(NodeOutput::Rows(sycamore::transforms::reduce_by_key(
+                        docs,
+                        key,
+                        &[("value".into(), agg)],
+                    )))
+                }
+            }
+            PlanOp::Sort { path, descending } => Ok(NodeOutput::Rows(
+                sycamore::transforms::sort_by(rows_of(0)?, path, *descending),
+            )),
+            PlanOp::TopK { path, descending, k } => {
+                let mut docs = sycamore::transforms::sort_by(rows_of(0)?, path, *descending);
+                docs.truncate(*k);
+                Ok(NodeOutput::Rows(docs))
+            }
+            PlanOp::Join { on } => {
+                let left = rows_of(0)?;
+                let right = rows_of(1)?;
+                let mut out = Vec::new();
+                for l in &left {
+                    let Some(lv) = l.prop(on) else { continue };
+                    for r in &right {
+                        if r.prop(on).is_some_and(|rv| rv.loose_eq(lv)) {
+                            let mut merged = l.clone();
+                            if let (Some(dst), Some(src)) = (
+                                merged.properties.as_object_mut(),
+                                r.properties.as_object(),
+                            ) {
+                                for (k, v) in src {
+                                    dst.entry(k.clone()).or_insert_with(|| v.clone());
+                                }
+                            }
+                            merged.lineage.push(
+                                aryn_core::LineageRecord::new("join", on.clone())
+                                    .with_sources(vec![l.id.0.clone(), r.id.0.clone()]),
+                            );
+                            out.push(merged);
+                        }
+                    }
+                }
+                Ok(NodeOutput::Rows(out))
+            }
+            PlanOp::Math { expr } => {
+                // Substitute {out_N} with scalar values from the whole DAG.
+                let resolved = substitute_outputs(expr, all)?;
+                let v = eval_math(&resolved)?;
+                Ok(NodeOutput::Scalar(Value::Float(v)))
+            }
+            PlanOp::GraphExpand { relation, output } => {
+                let graph = self.graph.as_ref().ok_or_else(|| {
+                    ArynError::Exec("graphExpand requires a knowledge graph".into())
+                })?;
+                let docs = rows_of(0)?;
+                let mut out = Vec::with_capacity(docs.len());
+                for mut d in docs {
+                    // Resolve the row to a graph node: by a name-like
+                    // property first, then by document id.
+                    let node_id = ["company", "entity", "name"]
+                        .iter()
+                        .find_map(|k| d.prop(k).and_then(Value::as_str).map(str::to_string))
+                        .unwrap_or_else(|| d.id.0.clone());
+                    let mut neighbors: Vec<String> = graph
+                        .neighbors(&node_id, Some(relation))
+                        .into_iter()
+                        .map(|n| n.id.clone())
+                        .chain(
+                            graph
+                                .incoming(&node_id, Some(relation))
+                                .into_iter()
+                                .map(|n| n.id.clone()),
+                        )
+                        .collect();
+                    neighbors.sort();
+                    neighbors.dedup();
+                    d.properties.set_path(
+                        output,
+                        Value::Array(neighbors.into_iter().map(Value::from).collect()),
+                    );
+                    d.lineage.push(
+                        aryn_core::LineageRecord::new("graph_expand", relation.clone()),
+                    );
+                    out.push(d);
+                }
+                Ok(NodeOutput::Rows(out))
+            }
+            PlanOp::SummarizeData { instructions } => {
+                let docs = rows_of(0)?;
+                let doc = sycamore::transforms::summarize_all(&self.client, instructions, &docs)?;
+                let text = doc
+                    .prop("summary")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Ok(NodeOutput::Scalar(Value::from(text)))
+            }
+            PlanOp::LlmGenerate { question } => {
+                // Render rows (and any scalar inputs) as context and ask.
+                let mut context = String::new();
+                for o in inputs {
+                    match o {
+                        NodeOutput::Scalar(v) => {
+                            context.push_str(&format!("value: {v}\n"));
+                        }
+                        NodeOutput::Rows(rows) => {
+                            for d in rows.iter().take(40) {
+                                context.push_str(&format!(
+                                    "- {}: {}\n",
+                                    d.id,
+                                    aryn_core::json::to_string(&d.properties)
+                                ));
+                            }
+                        }
+                    }
+                }
+                let prompt = self
+                    .client
+                    .fit_prompt(&context, 512, |c| tasks::answer(question, c));
+                let v = self.client.generate_json(&prompt, 512)?;
+                let answer = v
+                    .get("answer")
+                    .map(|a| a.display_text())
+                    .unwrap_or_default();
+                Ok(NodeOutput::Scalar(Value::from(answer)))
+            }
+        }
+    }
+}
+
+/// Property match with the `_id` pseudo-field (the document key).
+fn prop_matches(d: &Document, path: &str, val: &Value) -> bool {
+    if path == "_id" {
+        return val.as_str().is_some_and(|s| d.id.as_str().eq_ignore_ascii_case(s));
+    }
+    d.prop(path).is_some_and(|v| v.loose_eq(val))
+}
+
+fn agg_from_name(func: &str, path: &str) -> Result<sycamore::Agg> {
+    Ok(match func {
+        "count" | "" => sycamore::Agg::Count,
+        "sum" => sycamore::Agg::Sum(path.to_string()),
+        "avg" | "mean" | "average" => sycamore::Agg::Avg(path.to_string()),
+        "min" => sycamore::Agg::Min(path.to_string()),
+        "max" => sycamore::Agg::Max(path.to_string()),
+        other => {
+            return Err(ArynError::InvalidPlan(format!(
+                "unknown aggregate function {other:?}"
+            )))
+        }
+    })
+}
+
+fn render_answer(output: &NodeOutput) -> String {
+    match output {
+        NodeOutput::Scalar(Value::Str(s)) => s.clone(),
+        NodeOutput::Scalar(v) => v.to_string(),
+        NodeOutput::Rows(rows) => {
+            let mut out = String::new();
+            for d in rows.iter().take(10) {
+                out.push_str(&format!("{}: {}\n", d.id, aryn_core::json::to_string(&d.properties)));
+            }
+            if rows.len() > 10 {
+                out.push_str(&format!("... ({} rows total)\n", rows.len()));
+            }
+            out
+        }
+    }
+}
+
+/// Replaces `{out_N}` references with their scalar values.
+fn substitute_outputs(expr: &str, all: &BTreeMap<usize, NodeOutput>) -> Result<String> {
+    let mut out = String::new();
+    let mut rest = expr;
+    while let Some(start) = rest.find("{out_") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 5..];
+        let end = after
+            .find('}')
+            .ok_or_else(|| ArynError::Exec("unclosed {out_N} reference".into()))?;
+        let id: usize = after[..end]
+            .parse()
+            .map_err(|_| ArynError::Exec(format!("bad node reference {{out_{}}}", &after[..end])))?;
+        let node = all
+            .get(&id)
+            .ok_or_else(|| ArynError::Exec(format!("math references out_{id} which has not run")))?;
+        let v = match node {
+            NodeOutput::Scalar(v) => v
+                .as_float()
+                .ok_or_else(|| ArynError::Exec(format!("out_{id} is not numeric")))?,
+            NodeOutput::Rows(r) => r.len() as f64,
+        };
+        out.push_str(&format!("{v}"));
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Evaluates arithmetic: `+ - * /`, parentheses, unary minus.
+pub fn eval_math(expr: &str) -> Result<f64> {
+    let tokens = math_tokens(expr)?;
+    let mut pos = 0;
+    let v = parse_expr(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(ArynError::Exec(format!("trailing tokens in math expr {expr:?}")));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Num(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn math_tokens(expr: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || (bytes[i] == b'-' && i > start && bytes[i - 1] == b'e'))
+                {
+                    i += 1;
+                }
+                let n: f64 = expr[start..i]
+                    .parse()
+                    .map_err(|_| ArynError::Exec(format!("bad number in {expr:?}")))?;
+                out.push(Tok::Num(n));
+            }
+            other => {
+                return Err(ArynError::Exec(format!(
+                    "unexpected character {other:?} in math expr"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_expr(toks: &[Tok], pos: &mut usize) -> Result<f64> {
+    let mut v = parse_term(toks, pos)?;
+    while *pos < toks.len() {
+        match toks[*pos] {
+            Tok::Plus => {
+                *pos += 1;
+                v += parse_term(toks, pos)?;
+            }
+            Tok::Minus => {
+                *pos += 1;
+                v -= parse_term(toks, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(v)
+}
+
+fn parse_term(toks: &[Tok], pos: &mut usize) -> Result<f64> {
+    let mut v = parse_factor(toks, pos)?;
+    while *pos < toks.len() {
+        match toks[*pos] {
+            Tok::Star => {
+                *pos += 1;
+                v *= parse_factor(toks, pos)?;
+            }
+            Tok::Slash => {
+                *pos += 1;
+                let d = parse_factor(toks, pos)?;
+                if d == 0.0 {
+                    return Err(ArynError::Exec("division by zero in math expr".into()));
+                }
+                v /= d;
+            }
+            _ => break,
+        }
+    }
+    Ok(v)
+}
+
+fn parse_factor(toks: &[Tok], pos: &mut usize) -> Result<f64> {
+    match toks.get(*pos) {
+        Some(Tok::Num(n)) => {
+            *pos += 1;
+            Ok(*n)
+        }
+        Some(Tok::Minus) => {
+            *pos += 1;
+            Ok(-parse_factor(toks, pos)?)
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let v = parse_expr(toks, pos)?;
+            match toks.get(*pos) {
+                Some(Tok::RParen) => {
+                    *pos += 1;
+                    Ok(v)
+                }
+                _ => Err(ArynError::Exec("missing closing paren".into())),
+            }
+        }
+        _ => Err(ArynError::Exec("expected number or '('".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn math_evaluator() {
+        assert_eq!(eval_math("1 + 2 * 3").unwrap(), 7.0);
+        assert_eq!(eval_math("(1 + 2) * 3").unwrap(), 9.0);
+        assert_eq!(eval_math("100 * 4 / 8").unwrap(), 50.0);
+        assert_eq!(eval_math("-3 + 5").unwrap(), 2.0);
+        assert_eq!(eval_math("2.5 * 2").unwrap(), 5.0);
+        assert!(eval_math("1 / 0").is_err());
+        assert!(eval_math("1 +").is_err());
+        assert!(eval_math("(1").is_err());
+        assert!(eval_math("foo").is_err());
+        assert!(eval_math("1 2").is_err());
+    }
+
+    #[test]
+    fn substitution_resolves_scalars_and_rowcounts() {
+        let mut all = BTreeMap::new();
+        all.insert(2usize, NodeOutput::Scalar(Value::Int(8)));
+        all.insert(4usize, NodeOutput::Rows(vec![Document::new("a"), Document::new("b")]));
+        let s = substitute_outputs("100 * {out_4} / {out_2}", &all).unwrap();
+        assert_eq!(eval_math(&s).unwrap(), 25.0);
+        assert!(substitute_outputs("{out_9}", &all).is_err());
+        assert!(substitute_outputs("{out_", &all).is_err());
+    }
+
+    #[test]
+    fn render_answer_shapes() {
+        assert_eq!(render_answer(&NodeOutput::Scalar(Value::from("hi"))), "hi");
+        assert_eq!(render_answer(&NodeOutput::Scalar(Value::Int(3))), "3");
+        let rows = NodeOutput::Rows(vec![Document::new("x")]);
+        assert!(render_answer(&rows).contains("x:"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The Luna front end: natural-language question → plan (via the LLM) →
+//! optimize → Sycamore execution, with human-in-the-loop plan editing.
+
+use crate::exec::{LunaResult, PlanExecutor};
+use crate::ops::{Plan, PlanOp};
+use crate::optimize::{optimize, Optimized, OptimizerCfg};
+use crate::planner::{PlannerEngine, RulePlanner};
+use crate::schema::IndexSchema;
+use aryn_core::{ArynError, Result, Value};
+use aryn_llm::prompt::tasks;
+use aryn_llm::{LlmClient, MockLlm, ModelSpec, SimConfig};
+use std::sync::Arc;
+
+/// Luna configuration.
+pub struct LunaConfig {
+    /// Planner model spec (plan-generation quality comes from its `plan`
+    /// accuracy).
+    pub planner_model: &'static ModelSpec,
+    /// Default execution model.
+    pub exec_model: &'static ModelSpec,
+    pub sim: SimConfig,
+    pub optimizer: OptimizerCfg,
+    /// Re-plan attempts when the produced plan fails validation.
+    pub max_replan: u32,
+}
+
+impl Default for LunaConfig {
+    fn default() -> Self {
+        LunaConfig {
+            planner_model: &aryn_llm::GPT4_SIM,
+            exec_model: &aryn_llm::GPT4_SIM,
+            sim: SimConfig::default(),
+            optimizer: OptimizerCfg::default(),
+            max_replan: 3,
+        }
+    }
+}
+
+/// The end-to-end natural-language query system.
+pub struct Luna {
+    schemas: Vec<IndexSchema>,
+    planner_client: LlmClient,
+    executor: PlanExecutor,
+    optimizer: OptimizerCfg,
+    max_replan: u32,
+}
+
+impl Luna {
+    /// Builds Luna over a Sycamore context whose catalog already holds the
+    /// ingested stores named in `indexes`.
+    pub fn new(ctx: sycamore::Context, indexes: &[&str], cfg: LunaConfig) -> Result<Luna> {
+        let mut schemas = Vec::new();
+        for name in indexes {
+            let schema = ctx.with_store(name, |s| IndexSchema::discover(name, s))?;
+            schemas.push(schema);
+        }
+        // The planner LLM: the rule planner registered as its `plan` brain.
+        let planner_llm = MockLlm::new(cfg.planner_model, cfg.sim.clone())
+            .with_engine(Box::new(PlannerEngine::new(RulePlanner::new(schemas.clone()))));
+        let planner_client = LlmClient::new(Arc::new(planner_llm)).with_policy(
+            aryn_llm::RetryPolicy {
+                max_reask: 4,
+                ..aryn_llm::RetryPolicy::default()
+            },
+        );
+        // Execution clients: default plus one per catalogue model, so the
+        // optimizer's routing decisions have real endpoints.
+        let exec_client = LlmClient::new(Arc::new(MockLlm::new(cfg.exec_model, cfg.sim.clone())));
+        // Pay-as-you-go knowledge graph over the ingested stores (§7): built
+        // from extracted properties, merged across indexes.
+        let mut graph = aryn_index::GraphStore::new();
+        for name in indexes {
+            ctx.with_store(name, |s| {
+                let _ = crate::kg::build_earnings_graph(s, &mut graph);
+                let _ = crate::kg::build_ntsb_graph(s, &mut graph);
+            })?;
+        }
+        let mut executor =
+            PlanExecutor::new(ctx, exec_client).with_graph(Arc::new(graph));
+        for spec in aryn_llm::ALL_MODELS {
+            executor = executor.with_model(
+                spec.name,
+                LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone()))),
+            );
+        }
+        Ok(Luna {
+            schemas,
+            planner_client,
+            executor,
+            optimizer: cfg.optimizer,
+            max_replan: cfg.max_replan,
+        })
+    }
+
+    pub fn schemas(&self) -> &[IndexSchema] {
+        &self.schemas
+    }
+
+    pub fn context(&self) -> &sycamore::Context {
+        &self.executor.ctx
+    }
+
+    /// The knowledge graph built from the ingested stores.
+    pub fn graph(&self) -> Option<&aryn_index::GraphStore> {
+        self.executor.graph.as_deref()
+    }
+
+    /// Plans a question via the LLM, validating and re-asking on failure —
+    /// the paper's planning loop.
+    pub fn plan(&self, question: &str) -> Result<Plan> {
+        let schema_render = if self.schemas.is_empty() {
+            Value::object()
+        } else {
+            self.schemas[0].render()
+        };
+        let base_prompt = tasks::plan(question, &schema_render, &PlanOp::KINDS);
+        let mut prompt = base_prompt.clone();
+        let mut last_err = None;
+        for attempt in 0..=self.max_replan {
+            let v = match self.planner_client.generate_json(&prompt, 2048) {
+                Ok(v) => v,
+                Err(e) => {
+                    // Unparseable output counts as a failed attempt too.
+                    prompt = format!(
+                        "{base_prompt}\nAttempt {attempt}: no valid JSON was produced ({e}). Produce a corrected plan."
+                    );
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            match Plan::from_value(&v).and_then(|p| {
+                p.validate()?;
+                Ok(p)
+            }) {
+                Ok(plan) => return Ok(plan),
+                Err(e) => {
+                    // Re-prompt with feedback: a fresh prompt also resamples
+                    // the model's output, as re-asking a real LLM would.
+                    prompt = format!(
+                        "{base_prompt}\nAttempt {attempt}: the previous plan was invalid ({e}). Produce a corrected plan."
+                    );
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| ArynError::Plan("planning failed".into())))
+    }
+
+    /// Optimizes a plan, returning the rewritten plan and notes.
+    pub fn optimize(&self, plan: &Plan) -> Optimized {
+        optimize(plan, &self.schemas, &self.optimizer)
+    }
+
+    /// Executes a (validated) plan with tracing.
+    pub fn execute(&self, plan: &Plan) -> Result<LunaResult> {
+        self.executor.execute(plan)
+    }
+
+    /// The full path: plan → optimize → execute.
+    pub fn ask(&self, question: &str) -> Result<LunaAnswer> {
+        let plan = self.plan(question)?;
+        let optimized = self.optimize(&plan);
+        let result = self.execute(&optimized.plan)?;
+        Ok(LunaAnswer {
+            question: question.to_string(),
+            plan,
+            optimized_plan: optimized.plan,
+            optimizer_notes: optimized.notes,
+            result,
+        })
+    }
+
+    /// Executes an edited plan (the human-in-the-loop path): the plan is
+    /// re-validated before running.
+    pub fn execute_edited(&self, plan: &Plan) -> Result<LunaResult> {
+        plan.validate()?;
+        let optimized = self.optimize(plan);
+        self.execute(&optimized.plan)
+    }
+
+    /// Total planning + execution spend so far (simulated dollars).
+    pub fn total_cost(&self) -> f64 {
+        let mut c = self.planner_client.stats().usage.cost_usd
+            + self.executor.client.stats().usage.cost_usd;
+        for client in self.executor.model_clients.values() {
+            c += client.stats().usage.cost_usd;
+        }
+        c
+    }
+}
+
+/// Everything Luna can tell you about one question.
+#[derive(Debug, Clone)]
+pub struct LunaAnswer {
+    pub question: String,
+    /// The plan as the LLM produced it.
+    pub plan: Plan,
+    /// The plan as executed, after optimization.
+    pub optimized_plan: Plan,
+    pub optimizer_notes: Vec<String>,
+    pub result: LunaResult,
+}
+
+impl LunaAnswer {
+    pub fn answer(&self) -> &str {
+        &self.result.answer
+    }
+
+    /// The full explainability bundle: NL plan, code, notes, trace.
+    pub fn explain(&self) -> String {
+        format!(
+            "Question: {}\n\nPlan:\n{}\nGenerated code:\n{}\nOptimizer notes:\n{}\n\nExecution trace:\n{}",
+            self.question,
+            self.optimized_plan.describe(),
+            crate::codegen::to_python(&self.optimized_plan),
+            if self.optimizer_notes.is_empty() {
+                "  (none)".to_string()
+            } else {
+                self.optimizer_notes
+                    .iter()
+                    .map(|n| format!("  - {n}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            },
+            self.result.render_trace()
+        )
+    }
+}
+
+/// Ingest helper: partitions a registered lake, extracts a property schema,
+/// and writes the result as a document store — the ETL phase Luna plans
+/// against. Returns the number of documents ingested.
+pub fn ingest_lake(
+    ctx: &sycamore::Context,
+    lake: &str,
+    store: &str,
+    client: &LlmClient,
+    schema: Value,
+    detector: aryn_partitioner::Detector,
+) -> Result<usize> {
+    ctx.read_lake(lake)?
+        .partition(
+            lake,
+            sycamore::PartitionCfg {
+                detector,
+                ..sycamore::PartitionCfg::default()
+            },
+        )
+        .extract_properties(client, schema)
+        .write_store(store)
+}
+
+/// The standard NTSB extraction schema used by examples and benches.
+pub fn ntsb_schema() -> Value {
+    aryn_core::obj! {
+        "us_state_abbrev" => "string",
+        "city" => "string",
+        "date" => "string",
+        "year" => "int",
+        "aircraft_model" => "string",
+        "cause_category" => "string",
+        "cause_detail" => "string",
+        "weather_related" => "bool",
+        "fatal" => "int",
+    }
+}
+
+/// The standard earnings extraction schema.
+pub fn earnings_schema() -> Value {
+    aryn_core::obj! {
+        "company" => "string",
+        "ticker" => "string",
+        "sector" => "string",
+        "quarter" => "string",
+        "year" => "int",
+        "revenue_musd" => "float",
+        "growth_pct" => "float",
+        "eps" => "float",
+        "guidance" => "string",
+        "ceo" => "string",
+        "ceo_changed" => "bool",
+        "sentiment" => "string",
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for plans and the math evaluator.
+
+use aryn_core::{json, Value};
+use luna::{eval_math, Plan, PlanNode, PlanOp};
+use proptest::prelude::*;
+
+/// Arbitrary single-input operator.
+fn op_strategy() -> impl Strategy<Value = PlanOp> {
+    prop_oneof![
+        ("[a-z_]{1,8}", prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            "[a-z]{1,6}".prop_map(Value::from),
+        ])
+            .prop_map(|(path, value)| PlanOp::BasicFilter { path, value }),
+        ("[a-z_]{1,8}", any::<bool>()).prop_map(|(path, descending)| PlanOp::Sort {
+            path,
+            descending
+        }),
+        ("[a-z ]{1,16}").prop_map(|predicate| PlanOp::LlmFilter {
+            predicate,
+            model: String::new()
+        }),
+        ("[a-z_]{1,8}", 1usize..20).prop_map(|(path, k)| PlanOp::TopK {
+            path,
+            descending: true,
+            k
+        }),
+        ("[a-z_]{1,8}").prop_map(|field| PlanOp::LlmExtract {
+            field,
+            ftype: "string".into(),
+            model: String::new()
+        }),
+        Just(PlanOp::Count),
+        ("[a-z_]{1,8}", "[a-z_]{1,8}").prop_map(|(relation, output)| PlanOp::GraphExpand {
+            relation,
+            output
+        }),
+        ("[a-z ]{1,16}").prop_map(|instructions| PlanOp::SummarizeData { instructions }),
+    ]
+}
+
+/// A random linear plan: scan followed by a chain of single-input ops.
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    prop::collection::vec(op_strategy(), 0..8).prop_map(|ops| {
+        let mut nodes = vec![PlanNode {
+            id: 0,
+            op: PlanOp::QueryDatabase {
+                index: "ntsb".into(),
+                prefilter: vec![],
+            },
+            inputs: vec![],
+            description: String::new(),
+        }];
+        for (i, op) in ops.into_iter().enumerate() {
+            nodes.push(PlanNode {
+                id: i + 1,
+                op,
+                inputs: vec![i],
+                description: String::new(),
+            });
+        }
+        let result = nodes.len() - 1;
+        Plan { nodes, result }
+    })
+}
+
+/// A random arithmetic expression with its reference value.
+fn expr_strategy() -> impl Strategy<Value = (String, f64)> {
+    let leaf = (1i32..200).prop_map(|n| (n.to_string(), n as f64));
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        (inner.clone(), prop_oneof![Just('+'), Just('-'), Just('*'), Just('/')], inner).prop_map(
+            |((ls, lv), op, (rs, rv))| {
+                let s = format!("({ls} {op} {rs})");
+                let v = match op {
+                    '+' => lv + rv,
+                    '-' => lv - rv,
+                    '*' => lv * rv,
+                    _ => lv / rv, // rv >= 1 by construction at leaves; composites stay nonzero-ish
+                };
+                (s, v)
+            },
+        )
+    })
+    // Guard against division blowups producing subnormal comparisons.
+    .prop_filter("finite", |(_, v)| v.is_finite() && v.abs() < 1e12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_plans_validate_and_roundtrip(plan in plan_strategy()) {
+        // Some generated ops are semantically odd, but structurally every
+        // linear chain must validate and survive JSON.
+        if plan.validate().is_ok() {
+            let text = json::to_string_pretty(&plan.to_value());
+            let back = Plan::parse(&text).unwrap();
+            prop_assert_eq!(back, plan);
+        }
+    }
+
+    #[test]
+    fn describe_and_codegen_cover_every_node(plan in plan_strategy()) {
+        prop_assume!(plan.validate().is_ok());
+        let desc = luna::Plan::describe(&plan);
+        let code = luna::codegen::to_python(&plan);
+        for n in &plan.nodes {
+            let tag = format!("[out_{}]", n.id);
+            let var = format!("out_{}", n.id);
+            let in_desc = desc.contains(&tag);
+            let in_code = code.contains(&var);
+            prop_assert!(in_desc, "missing {tag} in description");
+            prop_assert!(in_code, "missing {var} in code");
+        }
+        let tail = format!("result = out_{}\n", plan.result);
+        let ends = code.ends_with(&tail);
+        prop_assert!(ends, "code should end with {tail:?}");
+    }
+
+    #[test]
+    fn dangling_input_mutation_always_caught(plan in plan_strategy(), victim in 0usize..8) {
+        prop_assume!(plan.nodes.len() > 1);
+        let mut broken = plan;
+        let idx = 1 + victim % (broken.nodes.len() - 1);
+        broken.nodes[idx].inputs = vec![9999];
+        prop_assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_id_mutation_always_caught(plan in plan_strategy(), victim in 0usize..8) {
+        prop_assume!(plan.nodes.len() > 1);
+        let mut broken = plan;
+        let idx = 1 + victim % (broken.nodes.len() - 1);
+        broken.nodes[idx].id = 0;
+        prop_assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn math_evaluator_matches_reference((expr, want) in expr_strategy()) {
+        match eval_math(&expr) {
+            Ok(got) => {
+                let tol = want.abs().max(1.0) * 1e-9;
+                prop_assert!((got - want).abs() <= tol, "{expr}: got {got}, want {want}");
+            }
+            Err(e) => {
+                // Division by an exactly-zero subexpression is the only
+                // legitimate failure.
+                prop_assert!(e.to_string().contains("division by zero"), "{expr}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn math_evaluator_never_panics(junk in ".{0,40}") {
+        let _ = eval_math(&junk);
+    }
+
+    #[test]
+    fn plan_parse_never_panics(junk in ".{0,200}") {
+        let _ = Plan::parse(&junk);
+    }
+}

@@ -1,0 +1,256 @@
+//! The Sycamore context: data lake, index sinks, embedder, and execution
+//! configuration. Cloning a [`Context`] shares the underlying state, the way
+//! paper code passes one `context` around (`context.read.opensearch(...)`).
+
+use crate::docset::{DocSet, Source};
+use aryn_core::{ArynError, Document, Result};
+use aryn_docgen::layout::RawDocument;
+use aryn_docgen::Corpus;
+use aryn_index::{Catalog, DocStore, HnswIndex, KeywordIndex, VectorIndex};
+use aryn_llm::{EmbeddingModel, HashedBowEmbedder};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How pipelines execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecConfig {
+    /// Worker threads for per-document stages (1 = sequential).
+    pub threads: usize,
+    /// Injected worker-failure probability per (doc, attempt) — exercises
+    /// the Ray-style retry path.
+    pub fail_rate: f64,
+    /// Retries per document before it is dropped/failed.
+    pub max_retries: u32,
+    /// Drop failing documents (recorded in stats) instead of failing the
+    /// whole pipeline.
+    pub skip_failures: bool,
+    pub seed: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 1,
+            fail_rate: 0.0,
+            max_retries: 3,
+            skip_failures: false,
+            seed: 0x5CA9,
+        }
+    }
+}
+
+/// Entries of one lake: `(doc id, raw rendering)` pairs.
+pub(crate) type LakeEntries = Vec<(String, Arc<RawDocument>)>;
+
+pub(crate) struct ContextInner {
+    /// "Data lake" of raw renderings: lake name -> (doc id, raw document).
+    pub lake: RwLock<BTreeMap<String, LakeEntries>>,
+    /// Document stores (the OpenSearch-like sink).
+    pub catalog: RwLock<Catalog>,
+    /// Keyword indexes.
+    pub keyword: RwLock<BTreeMap<String, KeywordIndex>>,
+    /// Vector indexes.
+    pub vector: RwLock<BTreeMap<String, Box<dyn VectorIndex>>>,
+    /// Named in-memory materializations.
+    pub materialized: RwLock<BTreeMap<String, Vec<Document>>>,
+    pub embedder: Arc<dyn EmbeddingModel>,
+    pub exec: ExecConfig,
+}
+
+/// Shared handle to the Sycamore runtime state.
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) inner: Arc<ContextInner>,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+impl Context {
+    /// A context with the default hashed-BoW embedder (256 dims).
+    pub fn new() -> Context {
+        Context::with_embedder(Arc::new(HashedBowEmbedder::new(256, 0xE3B)))
+    }
+
+    pub fn with_embedder(embedder: Arc<dyn EmbeddingModel>) -> Context {
+        Context {
+            inner: Arc::new(ContextInner {
+                lake: RwLock::new(BTreeMap::new()),
+                catalog: RwLock::new(Catalog::new()),
+                keyword: RwLock::new(BTreeMap::new()),
+                vector: RwLock::new(BTreeMap::new()),
+                materialized: RwLock::new(BTreeMap::new()),
+                embedder,
+                exec: ExecConfig::default(),
+            }),
+        }
+    }
+
+    /// Returns a context with a different execution configuration, carrying
+    /// a snapshot of this context's lake and materializations. Index sinks
+    /// (catalog, keyword, vector) start empty: executor settings are chosen
+    /// before ingestion, and sharing mutable sinks across configs would make
+    /// runs order-dependent.
+    pub fn with_exec(&self, exec: ExecConfig) -> Context {
+        Context {
+            inner: Arc::new(ContextInner {
+                lake: RwLock::new(self.inner.lake.read().clone()),
+                catalog: RwLock::new(Catalog::new()),
+                keyword: RwLock::new(BTreeMap::new()),
+                vector: RwLock::new(BTreeMap::new()),
+                materialized: RwLock::new(self.inner.materialized.read().clone()),
+                embedder: Arc::clone(&self.inner.embedder),
+                exec,
+            }),
+        }
+    }
+
+    pub fn exec_config(&self) -> ExecConfig {
+        self.inner.exec
+    }
+
+    pub fn embedder(&self) -> Arc<dyn EmbeddingModel> {
+        Arc::clone(&self.inner.embedder)
+    }
+
+    /// Registers a synthetic corpus's raw renderings as a lake.
+    pub fn register_corpus(&self, lake: &str, corpus: &Corpus) {
+        let entries = corpus
+            .docs
+            .iter()
+            .map(|d| (d.id.clone(), Arc::new(d.raw.clone())))
+            .collect();
+        self.inner.lake.write().insert(lake.to_string(), entries);
+    }
+
+    /// Looks up one raw rendering in a lake.
+    pub fn raw_from_lake(&self, lake: &str, id: &str) -> Option<Arc<RawDocument>> {
+        self.inner
+            .lake
+            .read()
+            .get(lake)
+            .and_then(|docs| docs.iter().find(|(k, _)| k == id))
+            .map(|(_, raw)| Arc::clone(raw))
+    }
+
+    /// DocSet over the raw documents of a lake (unpartitioned).
+    pub fn read_lake(&self, lake: &str) -> Result<DocSet> {
+        if !self.inner.lake.read().contains_key(lake) {
+            return Err(ArynError::Index(format!("unknown lake {lake:?}")));
+        }
+        Ok(DocSet::new(self.clone(), Source::Lake(lake.to_string())))
+    }
+
+    /// DocSet over a document store (the `context.read.opensearch(...)` of
+    /// the paper's Figure 6).
+    pub fn read_store(&self, name: &str) -> Result<DocSet> {
+        self.inner.catalog.read().get(name)?;
+        Ok(DocSet::new(self.clone(), Source::Store(name.to_string())))
+    }
+
+    /// DocSet over in-memory documents.
+    pub fn read_docs(&self, docs: Vec<Document>) -> DocSet {
+        DocSet::new(self.clone(), Source::Docs(Arc::new(docs)))
+    }
+
+    /// DocSet over a previous materialization.
+    pub fn read_materialized(&self, name: &str) -> Result<DocSet> {
+        if !self.inner.materialized.read().contains_key(name) {
+            return Err(ArynError::Index(format!("unknown materialization {name:?}")));
+        }
+        Ok(DocSet::new(self.clone(), Source::Materialized(name.to_string())))
+    }
+
+    // --- sink accessors -----------------------------------------------------
+
+    /// Runs `f` with a read view of a document store.
+    pub fn with_store<T>(&self, name: &str, f: impl FnOnce(&DocStore) -> T) -> Result<T> {
+        let catalog = self.inner.catalog.read();
+        Ok(f(catalog.get(name)?))
+    }
+
+    /// Inserts (replacing) a document store.
+    pub fn put_store(&self, name: &str, store: DocStore) {
+        self.inner.catalog.write().insert(name, store);
+    }
+
+    /// Runs `f` with a read view of a keyword index.
+    pub fn with_keyword<T>(&self, name: &str, f: impl FnOnce(&KeywordIndex) -> T) -> Result<T> {
+        let kw = self.inner.keyword.read();
+        let ix = kw
+            .get(name)
+            .ok_or_else(|| ArynError::Index(format!("unknown keyword index {name:?}")))?;
+        Ok(f(ix))
+    }
+
+    /// Runs `f` with a read view of a vector index.
+    pub fn with_vector<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&dyn VectorIndex) -> T,
+    ) -> Result<T> {
+        let vx = self.inner.vector.read();
+        let ix = vx
+            .get(name)
+            .ok_or_else(|| ArynError::Index(format!("unknown vector index {name:?}")))?;
+        Ok(f(ix.as_ref()))
+    }
+
+    /// Creates an empty HNSW vector index with the context embedder's dims.
+    pub fn create_vector_index(&self, name: &str) {
+        let dims = self.inner.embedder.dims();
+        self.inner
+            .vector
+            .write()
+            .insert(name.to_string(), Box::new(HnswIndex::with_dims(dims)));
+    }
+
+    /// Names of all materializations currently cached.
+    pub fn materialization_names(&self) -> Vec<String> {
+        self.inner.materialized.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_read_lake() {
+        let ctx = Context::new();
+        let corpus = Corpus::ntsb(1, 3);
+        ctx.register_corpus("ntsb", &corpus);
+        assert!(ctx.read_lake("ntsb").is_ok());
+        assert!(ctx.read_lake("none").is_err());
+        assert!(ctx.raw_from_lake("ntsb", &corpus.docs[0].id).is_some());
+        assert!(ctx.raw_from_lake("ntsb", "ghost").is_none());
+    }
+
+    #[test]
+    fn stores_and_indexes_roundtrip() {
+        let ctx = Context::new();
+        assert!(ctx.read_store("s").is_err());
+        ctx.put_store("s", DocStore::new());
+        assert!(ctx.read_store("s").is_ok());
+        assert_eq!(ctx.with_store("s", |s| s.len()).unwrap(), 0);
+        ctx.create_vector_index("v");
+        assert_eq!(ctx.with_vector("v", |v| v.len()).unwrap(), 0);
+        assert!(ctx.with_keyword("k", |k| k.len()).is_err());
+    }
+
+    #[test]
+    fn with_exec_shares_lake_but_not_sinks() {
+        let ctx = Context::new();
+        ctx.register_corpus("ntsb", &Corpus::ntsb(1, 1));
+        let par = ctx.with_exec(ExecConfig {
+            threads: 4,
+            ..ExecConfig::default()
+        });
+        assert!(par.read_lake("ntsb").is_ok());
+        assert_eq!(par.exec_config().threads, 4);
+    }
+}

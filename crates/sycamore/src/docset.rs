@@ -1,0 +1,316 @@
+//! DocSets: "reliable distributed collections ... the elements are
+//! hierarchical documents" (paper §3). A DocSet is a lazy plan over a source;
+//! transforms build the plan, actions execute it.
+
+use crate::context::Context;
+use crate::op::{Agg, ElementSelector, Op, PartitionCfg};
+use crate::stats::ExecStats;
+use aryn_core::{Document, Result, Value};
+use aryn_index::DocStore;
+use aryn_llm::LlmClient;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where a DocSet's documents come from.
+#[derive(Clone)]
+pub enum Source {
+    /// Raw documents of a lake (unpartitioned).
+    Lake(String),
+    /// A document store in the catalog.
+    Store(String),
+    /// Literal in-memory documents.
+    Docs(Arc<Vec<Document>>),
+    /// A named materialization.
+    Materialized(String),
+}
+
+/// A lazy, transformable collection of documents.
+#[derive(Clone)]
+pub struct DocSet {
+    ctx: Context,
+    source: Source,
+    ops: Vec<Op>,
+}
+
+impl DocSet {
+    pub(crate) fn new(ctx: Context, source: Source) -> DocSet {
+        DocSet {
+            ctx,
+            source,
+            ops: Vec::new(),
+        }
+    }
+
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The logical plan (op names), for inspection and tests.
+    pub fn plan(&self) -> Vec<String> {
+        self.ops.iter().map(Op::name).collect()
+    }
+
+    fn push(mut self, op: Op) -> DocSet {
+        self.ops.push(op);
+        self
+    }
+
+    // --- core transforms ---------------------------------------------------
+
+    /// Arbitrary per-document function.
+    pub fn map(
+        self,
+        name: &str,
+        f: impl Fn(Document) -> Document + Send + Sync + 'static,
+    ) -> DocSet {
+        self.push(Op::Map {
+            name: name.to_string(),
+            f: Arc::new(f),
+        })
+    }
+
+    /// Keep documents matching the predicate.
+    pub fn filter(
+        self,
+        name: &str,
+        f: impl Fn(&Document) -> bool + Send + Sync + 'static,
+    ) -> DocSet {
+        self.push(Op::Filter {
+            name: name.to_string(),
+            f: Arc::new(f),
+        })
+    }
+
+    /// 1→N per-document function.
+    pub fn flat_map(
+        self,
+        name: &str,
+        f: impl Fn(Document) -> Vec<Document> + Send + Sync + 'static,
+    ) -> DocSet {
+        self.push(Op::FlatMap {
+            name: name.to_string(),
+            f: Arc::new(f),
+        })
+    }
+
+    // --- structural transforms ----------------------------------------------
+
+    /// Run the Aryn Partitioner over the raw renderings of `lake`.
+    pub fn partition(self, lake: &str, cfg: PartitionCfg) -> DocSet {
+        self.push(Op::Partition {
+            lake: lake.to_string(),
+            cfg,
+        })
+    }
+
+    /// Emit each element as its own chunk document.
+    pub fn explode(self) -> DocSet {
+        self.push(Op::Explode)
+    }
+
+    // --- analytic transforms --------------------------------------------------
+
+    /// Group by a property and aggregate.
+    pub fn reduce_by_key(self, key: &str, aggs: Vec<(String, Agg)>) -> DocSet {
+        self.push(Op::ReduceByKey {
+            key: key.to_string(),
+            aggs,
+        })
+    }
+
+    /// Sort by a property.
+    pub fn sort_by(self, path: &str, descending: bool) -> DocSet {
+        self.push(Op::SortBy {
+            path: path.to_string(),
+            descending,
+        })
+    }
+
+    /// Keep the first `n` documents.
+    pub fn limit(self, n: usize) -> DocSet {
+        self.push(Op::Limit(n))
+    }
+
+    // --- LLM-powered transforms -----------------------------------------------
+
+    /// Free-prompt per-document query (paper §5.2 `llm_query`).
+    pub fn llm_query(self, client: &LlmClient, template: &str, output_path: &str) -> DocSet {
+        self.llm_query_selected(client, template, output_path, ElementSelector::All)
+    }
+
+    pub fn llm_query_selected(
+        self,
+        client: &LlmClient,
+        template: &str,
+        output_path: &str,
+        selector: ElementSelector,
+    ) -> DocSet {
+        self.push(Op::LlmQuery {
+            client: client.clone(),
+            template: template.to_string(),
+            output_path: output_path.to_string(),
+            selector,
+        })
+    }
+
+    /// Schema-driven extraction (paper Figure 3): `schema` maps field name →
+    /// type name ("string" | "int" | "float" | "bool").
+    pub fn extract_properties(self, client: &LlmClient, schema: Value) -> DocSet {
+        self.extract_properties_selected(client, schema, ElementSelector::All)
+    }
+
+    pub fn extract_properties_selected(
+        self,
+        client: &LlmClient,
+        schema: Value,
+        selector: ElementSelector,
+    ) -> DocSet {
+        self.push(Op::ExtractProperties {
+            client: client.clone(),
+            schema,
+            selector,
+        })
+    }
+
+    /// Semantic filter by natural-language predicate (Luna's `llmFilter`).
+    pub fn llm_filter(self, client: &LlmClient, predicate: &str) -> DocSet {
+        self.push(Op::LlmFilter {
+            client: client.clone(),
+            predicate: predicate.to_string(),
+            selector: ElementSelector::All,
+        })
+    }
+
+    /// Closed-set classification: picks one of `labels` per document and
+    /// stores it under `output_path` (Table 1's LLM-powered class).
+    pub fn llm_classify(
+        self,
+        client: &LlmClient,
+        question: &str,
+        labels: &[&str],
+        output_path: &str,
+    ) -> DocSet {
+        self.push(Op::LlmClassify {
+            client: client.clone(),
+            question: question.to_string(),
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            output_path: output_path.to_string(),
+            selector: ElementSelector::All,
+        })
+    }
+
+    /// Per-document summary into `output_path`.
+    pub fn summarize(self, client: &LlmClient, instructions: &str, output_path: &str) -> DocSet {
+        self.push(Op::Summarize {
+            client: client.clone(),
+            instructions: instructions.to_string(),
+            output_path: output_path.to_string(),
+            selector: ElementSelector::All,
+        })
+    }
+
+    /// Per-section summarization over the document's semantic tree: each
+    /// titled section gets a one-sentence summary under
+    /// `properties.section_summaries.<slug>`.
+    pub fn summarize_sections(self, client: &LlmClient) -> DocSet {
+        self.push(Op::SummarizeSections {
+            client: client.clone(),
+        })
+    }
+
+    /// Collection-level hierarchical summarization into one document.
+    pub fn summarize_all(self, client: &LlmClient, instructions: &str) -> DocSet {
+        self.push(Op::SummarizeAll {
+            client: client.clone(),
+            instructions: instructions.to_string(),
+        })
+    }
+
+    /// Attach embeddings using the context's embedding model.
+    pub fn embed(self) -> DocSet {
+        self.push(Op::Embed)
+    }
+
+    /// Cache the stream here under `name` (memory only).
+    pub fn materialize(self, name: &str) -> DocSet {
+        self.push(Op::Materialize {
+            name: name.to_string(),
+            dir: None,
+        })
+    }
+
+    /// Cache the stream here and spill to `{dir}/{name}.jsonl`.
+    pub fn materialize_to(self, name: &str, dir: PathBuf) -> DocSet {
+        self.push(Op::Materialize {
+            name: name.to_string(),
+            dir: Some(dir),
+        })
+    }
+
+    // --- actions -------------------------------------------------------------
+
+    /// Executes the plan and returns the documents.
+    pub fn collect(&self) -> Result<Vec<Document>> {
+        Ok(self.collect_stats()?.0)
+    }
+
+    /// Executes the plan, returning documents and per-stage statistics.
+    pub fn collect_stats(&self) -> Result<(Vec<Document>, ExecStats)> {
+        crate::exec::execute(&self.ctx, &self.source, &self.ops)
+    }
+
+    /// Executes and counts.
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.collect()?.len())
+    }
+
+    /// Executes and returns the first document, if any.
+    pub fn first(&self) -> Result<Option<Document>> {
+        Ok(self.collect()?.into_iter().next())
+    }
+
+    /// Executes and writes the documents into a (new or replaced) document
+    /// store in the catalog.
+    pub fn write_store(&self, name: &str) -> Result<usize> {
+        let docs = self.collect()?;
+        let n = docs.len();
+        let store: DocStore = docs.into_iter().collect();
+        self.ctx.put_store(name, store);
+        Ok(n)
+    }
+
+    /// Executes and indexes full text into a keyword index.
+    pub fn write_keyword(&self, name: &str) -> Result<usize> {
+        let docs = self.collect()?;
+        let mut kw = self.ctx.inner.keyword.write();
+        let ix = kw.entry(name.to_string()).or_default();
+        for d in &docs {
+            ix.add(d.id.0.clone(), &d.full_text());
+        }
+        Ok(docs.len())
+    }
+
+    /// Executes and writes embeddings into a vector index (created if
+    /// missing). Documents without an embedding are embedded on the fly.
+    pub fn write_vector(&self, name: &str) -> Result<usize> {
+        let docs = self.collect()?;
+        {
+            let vx = self.ctx.inner.vector.read();
+            if !vx.contains_key(name) {
+                drop(vx);
+                self.ctx.create_vector_index(name);
+            }
+        }
+        let embedder = self.ctx.embedder();
+        let mut vx = self.ctx.inner.vector.write();
+        let ix = vx.get_mut(name).expect("just created");
+        for d in &docs {
+            let v = match &d.embedding {
+                Some(v) => v.clone(),
+                None => embedder.embed(&d.full_text()),
+            };
+            ix.add(d.id.as_str(), v)?;
+        }
+        Ok(docs.len())
+    }
+}

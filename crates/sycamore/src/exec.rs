@@ -1,0 +1,322 @@
+//! The execution engine: lazy plans run here.
+//!
+//! Plans execute stage by stage: maximal runs of per-document ops are fused
+//! and run document-parallel (the Ray-substitute: a crossbeam-based worker
+//! pool with injected-failure retry, §5.3); barrier ops (sort, reduce,
+//! limit, collection summarize, materialize) run on the gathered collection.
+
+use crate::context::Context;
+use crate::docset::Source;
+use crate::op::Op;
+use crate::stats::{ExecStats, StageStats};
+use crate::transforms;
+use aryn_core::{stable_hash, ArynError, Document, Result};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Executes a plan, returning the output documents and per-stage stats.
+///
+/// Materialize points act as resumable checkpoints: if a `materialize(name)`
+/// op's cache is already populated (a previous run of this plan, or an
+/// explicit warm-up), execution resumes from the *last* cached checkpoint
+/// instead of recomputing the upstream stages — the paper's "avoid redundant
+/// execution" behaviour (§5.3). Caches are named and user-managed; change
+/// the name (or a fresh Context) to force recomputation.
+pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Document>, ExecStats)> {
+    let mut stats = ExecStats::default();
+    // Find the last cached materialize checkpoint, if any.
+    let mut resume_at: Option<(usize, Vec<Document>)> = None;
+    for (idx, op) in ops.iter().enumerate() {
+        if let Op::Materialize { name, .. } = op {
+            if let Some(cached) = ctx.inner.materialized.read().get(name) {
+                resume_at = Some((idx, cached.clone()));
+            }
+        }
+    }
+    let (mut docs, mut i) = match resume_at {
+        Some((idx, cached)) => {
+            stats.stages.push(StageStats {
+                name: format!("{} [cache hit]", ops[idx].name()),
+                rows_in: cached.len(),
+                rows_out: cached.len(),
+                wall_ms: 0.0,
+                retries: 0,
+                failed_docs: 0,
+            });
+            (cached, idx + 1)
+        }
+        None => (resolve_source(ctx, source)?, 0),
+    };
+    while i < ops.len() {
+        if ops[i].is_barrier() {
+            let start = Instant::now();
+            let rows_in = docs.len();
+            docs = apply_barrier(ctx, &ops[i], docs)?;
+            stats.stages.push(StageStats {
+                name: ops[i].name(),
+                rows_in,
+                rows_out: docs.len(),
+                wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+                retries: 0,
+                failed_docs: 0,
+            });
+            i += 1;
+        } else {
+            // Fuse the maximal per-doc run.
+            let mut j = i;
+            while j < ops.len() && !ops[j].is_barrier() {
+                j += 1;
+            }
+            let segment = &ops[i..j];
+            let start = Instant::now();
+            let rows_in = docs.len();
+            let (out, retries, failed) = run_segment(ctx, segment, docs)?;
+            docs = out;
+            stats.stages.push(StageStats {
+                name: segment
+                    .iter()
+                    .map(Op::name)
+                    .collect::<Vec<_>>()
+                    .join(" → "),
+                rows_in,
+                rows_out: docs.len(),
+                wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+                retries,
+                failed_docs: failed,
+            });
+            i = j;
+        }
+    }
+    Ok((docs, stats))
+}
+
+fn resolve_source(ctx: &Context, source: &Source) -> Result<Vec<Document>> {
+    match source {
+        Source::Docs(docs) => Ok(docs.as_ref().clone()),
+        Source::Lake(name) => {
+            let lake = ctx.inner.lake.read();
+            let entries = lake
+                .get(name)
+                .ok_or_else(|| ArynError::Index(format!("unknown lake {name:?}")))?;
+            Ok(entries
+                .iter()
+                .map(|(id, raw)| {
+                    let mut d = Document::from_text(id.clone(), raw.full_text());
+                    d.set_prop("lake", name.as_str());
+                    d
+                })
+                .collect())
+        }
+        Source::Store(name) => {
+            ctx.with_store(name, |s| s.scan().cloned().collect::<Vec<_>>())
+        }
+        Source::Materialized(name) => ctx
+            .inner
+            .materialized
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ArynError::Index(format!("unknown materialization {name:?}"))),
+    }
+}
+
+/// Applies a fused run of per-doc ops over all documents, in parallel when
+/// configured. Returns `(docs, retries, failed_docs)`.
+fn run_segment(
+    ctx: &Context,
+    segment: &[Op],
+    docs: Vec<Document>,
+) -> Result<(Vec<Document>, usize, usize)> {
+    let cfg = ctx.exec_config();
+    if cfg.threads <= 1 {
+        run_segment_sequential(ctx, segment, docs)
+    } else {
+        run_segment_parallel(ctx, segment, docs)
+    }
+}
+
+/// Applies the op chain to one document (with injected worker failures and
+/// retries), yielding its 0..N outputs or an error after retries exhaust.
+fn process_doc(
+    ctx: &Context,
+    segment: &[Op],
+    stage_tag: &str,
+    doc: Document,
+) -> (Result<Vec<Document>>, usize) {
+    let cfg = ctx.exec_config();
+    let mut retries = 0usize;
+    for attempt in 0..=cfg.max_retries {
+        // Injected worker failure (deterministic per doc+attempt): the
+        // Ray-style fault the scheduler must absorb.
+        if cfg.fail_rate > 0.0 {
+            let h = stable_hash(
+                cfg.seed,
+                &[stage_tag, doc.id.as_str(), &attempt.to_string()],
+            );
+            let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if draw < cfg.fail_rate {
+                retries += 1;
+                continue;
+            }
+        }
+        let mut current = vec![doc.clone()];
+        let mut err = None;
+        'seg: for op in segment {
+            let mut next = Vec::with_capacity(current.len());
+            for d in std::mem::take(&mut current) {
+                match transforms::apply_per_doc(ctx, op, d) {
+                    Ok(mut out) => next.append(&mut out),
+                    Err(e) => {
+                        err = Some(e);
+                        break 'seg;
+                    }
+                }
+            }
+            current = next;
+        }
+        match err {
+            None => return (Ok(current), retries),
+            Some(e) => {
+                if attempt == cfg.max_retries {
+                    return (Err(e), retries);
+                }
+                retries += 1;
+            }
+        }
+    }
+    (
+        Err(ArynError::Exec(format!(
+            "worker failed {} times on {:?}",
+            cfg.max_retries + 1,
+            doc.id
+        ))),
+        retries,
+    )
+}
+
+fn run_segment_sequential(
+    ctx: &Context,
+    segment: &[Op],
+    docs: Vec<Document>,
+) -> Result<(Vec<Document>, usize, usize)> {
+    let cfg = ctx.exec_config();
+    let tag = segment
+        .iter()
+        .map(Op::name)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = Vec::with_capacity(docs.len());
+    let mut retries = 0;
+    let mut failed = 0;
+    for doc in docs {
+        let id = doc.id.clone();
+        let (res, r) = process_doc(ctx, segment, &tag, doc);
+        retries += r;
+        match res {
+            Ok(mut produced) => out.append(&mut produced),
+            Err(e) => {
+                if cfg.skip_failures {
+                    failed += 1;
+                } else {
+                    return Err(ArynError::Exec(format!("{id:?}: {e}")));
+                }
+            }
+        }
+    }
+    Ok((out, retries, failed))
+}
+
+/// Work item in the parallel pool.
+struct Task {
+    index: usize,
+    doc: Document,
+}
+
+fn run_segment_parallel(
+    ctx: &Context,
+    segment: &[Op],
+    docs: Vec<Document>,
+) -> Result<(Vec<Document>, usize, usize)> {
+    let cfg = ctx.exec_config();
+    let tag = segment
+        .iter()
+        .map(Op::name)
+        .collect::<Vec<_>>()
+        .join(",");
+    let n = docs.len();
+    let queue: Mutex<VecDeque<Task>> = Mutex::new(
+        docs.into_iter()
+            .enumerate()
+            .map(|(index, doc)| Task { index, doc })
+            .collect(),
+    );
+    let done = AtomicUsize::new(0);
+    let retries_total = AtomicUsize::new(0);
+    // Slot per input document: output docs or terminal error.
+    let results: Mutex<Vec<Option<Result<Vec<Document>>>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..cfg.threads {
+            scope.spawn(|_| loop {
+                let task = queue.lock().pop_front();
+                match task {
+                    Some(Task { index, doc }) => {
+                        let (res, r) = process_doc(ctx, segment, &tag, doc);
+                        retries_total.fetch_add(r, Ordering::Relaxed);
+                        results.lock()[index] = Some(res);
+                        done.fetch_add(1, Ordering::Release);
+                    }
+                    None => {
+                        if done.load(Ordering::Acquire) >= n {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| ArynError::Exec("worker thread panicked".into()))?;
+
+    let mut out = Vec::with_capacity(n);
+    let mut failed = 0;
+    for (i, slot) in results.into_inner().into_iter().enumerate() {
+        match slot.expect("every task completed") {
+            Ok(mut produced) => out.append(&mut produced),
+            Err(e) => {
+                if cfg.skip_failures {
+                    failed += 1;
+                } else {
+                    return Err(ArynError::Exec(format!("doc #{i}: {e}")));
+                }
+            }
+        }
+    }
+    Ok((out, retries_total.into_inner(), failed))
+}
+
+fn apply_barrier(ctx: &Context, op: &Op, docs: Vec<Document>) -> Result<Vec<Document>> {
+    match op {
+        Op::ReduceByKey { key, aggs } => Ok(transforms::reduce_by_key(docs, key, aggs)),
+        Op::SortBy { path, descending } => Ok(transforms::sort_by(docs, path, *descending)),
+        Op::Limit(n) => {
+            let mut d = docs;
+            d.truncate(*n);
+            Ok(d)
+        }
+        Op::SummarizeAll {
+            client,
+            instructions,
+        } => Ok(vec![transforms::summarize_all(client, instructions, &docs)?]),
+        Op::Materialize { name, dir } => {
+            transforms::materialize(ctx, name, dir.as_deref(), &docs)?;
+            Ok(docs)
+        }
+        other => Err(ArynError::Exec(format!(
+            "{} is not a barrier op",
+            other.name()
+        ))),
+    }
+}

@@ -1,0 +1,83 @@
+//! Execution statistics: per-stage row counts, retries, wall time.
+//!
+//! Stats back Luna's traceability story: every executed plan can report
+//! "how the dataset was transformed during each operation" (§6).
+
+/// Counters for one executed stage (one op, or one fused per-doc chain).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageStats {
+    pub name: String,
+    pub rows_in: usize,
+    pub rows_out: usize,
+    pub wall_ms: f64,
+    /// Worker-failure retries (injected or real) during this stage.
+    pub retries: usize,
+    /// Documents dropped because an op failed permanently on them.
+    pub failed_docs: usize,
+}
+
+/// Statistics for one pipeline execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecStats {
+    pub stages: Vec<StageStats>,
+}
+
+impl ExecStats {
+    pub fn total_retries(&self) -> usize {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    pub fn total_failed_docs(&self) -> usize {
+        self.stages.iter().map(|s| s.failed_docs).sum()
+    }
+
+    pub fn total_wall_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_ms).sum()
+    }
+
+    /// Renders a compact table for traces and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::from("stage                          rows_in  rows_out  retries  failed\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<30} {:>7}  {:>8}  {:>7}  {:>6}\n",
+                s.name, s.rows_in, s.rows_out, s.retries, s.failed_docs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_render() {
+        let stats = ExecStats {
+            stages: vec![
+                StageStats {
+                    name: "filter(x)".into(),
+                    rows_in: 10,
+                    rows_out: 4,
+                    wall_ms: 1.5,
+                    retries: 2,
+                    failed_docs: 1,
+                },
+                StageStats {
+                    name: "count".into(),
+                    rows_in: 4,
+                    rows_out: 1,
+                    wall_ms: 0.5,
+                    ..StageStats::default()
+                },
+            ],
+        };
+        assert_eq!(stats.total_retries(), 2);
+        assert_eq!(stats.total_failed_docs(), 1);
+        assert!((stats.total_wall_ms() - 2.0).abs() < 1e-9);
+        let r = stats.render();
+        assert!(r.contains("filter(x)"));
+        assert!(r.lines().count() >= 3);
+    }
+}

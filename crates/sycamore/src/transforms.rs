@@ -1,0 +1,551 @@
+//! Implementations of the per-document and barrier transforms.
+
+use crate::context::Context;
+use crate::op::{Agg, ElementSelector, Op, PartitionCfg};
+use aryn_core::json;
+use aryn_core::{ArynError, Document, LineageRecord, Result, Value};
+use aryn_llm::prompt::tasks;
+use aryn_llm::LlmClient;
+use aryn_partitioner::{Partitioner, PartitionerOptions};
+use std::collections::BTreeMap;
+
+/// Applies one per-document op, producing 0..N output documents.
+pub fn apply_per_doc(ctx: &Context, op: &Op, doc: Document) -> Result<Vec<Document>> {
+    match op {
+        Op::Map { name, f } => {
+            let mut out = f(doc);
+            out.lineage.push(LineageRecord::new("map", name.clone()));
+            Ok(vec![out])
+        }
+        Op::Filter { name, f } => {
+            if f(&doc) {
+                let mut d = doc;
+                d.lineage.push(LineageRecord::new("filter", name.clone()));
+                Ok(vec![d])
+            } else {
+                Ok(vec![])
+            }
+        }
+        Op::FlatMap { name, f } => {
+            let src = doc.id.0.clone();
+            Ok(f(doc)
+                .into_iter()
+                .map(|mut d| {
+                    d.lineage.push(
+                        LineageRecord::new("flat_map", name.clone()).with_sources(vec![src.clone()]),
+                    );
+                    d
+                })
+                .collect())
+        }
+        Op::Partition { lake, cfg } => partition(ctx, lake, cfg, doc).map(|d| vec![d]),
+        Op::Explode => Ok(explode(doc)),
+        Op::LlmQuery {
+            client,
+            template,
+            output_path,
+            selector,
+        } => llm_query(client, template, output_path, selector, doc).map(|d| vec![d]),
+        Op::ExtractProperties {
+            client,
+            schema,
+            selector,
+        } => extract_properties(client, schema, selector, doc).map(|d| vec![d]),
+        Op::LlmFilter {
+            client,
+            predicate,
+            selector,
+        } => llm_filter(client, predicate, selector, doc),
+        Op::LlmClassify {
+            client,
+            question,
+            labels,
+            output_path,
+            selector,
+        } => llm_classify(client, question, labels, output_path, selector, doc).map(|d| vec![d]),
+        Op::Summarize {
+            client,
+            instructions,
+            output_path,
+            selector,
+        } => summarize_doc(client, instructions, output_path, selector, doc).map(|d| vec![d]),
+        Op::SummarizeSections { client } => summarize_sections(client, doc).map(|d| vec![d]),
+        Op::Embed => {
+            let mut d = doc;
+            let text = d.full_text();
+            d.embedding = Some(ctx.embedder().embed(&text));
+            d.lineage
+                .push(LineageRecord::new("embed", ctx.embedder().name().to_string()));
+            Ok(vec![d])
+        }
+        barrier => Err(ArynError::Exec(format!(
+            "{} is a barrier op, not per-document",
+            barrier.name()
+        ))),
+    }
+}
+
+/// Runs the Aryn Partitioner against the raw rendering in the lake.
+fn partition(ctx: &Context, lake: &str, cfg: &PartitionCfg, doc: Document) -> Result<Document> {
+    let raw = ctx.raw_from_lake(lake, doc.id.as_str()).ok_or_else(|| {
+        ArynError::Exec(format!(
+            "partition: no raw rendering for {:?} in lake {lake:?}",
+            doc.id
+        ))
+    })?;
+    let p = Partitioner::new(PartitionerOptions {
+        detector: cfg.detector,
+        extract_tables: true,
+        merge_tables: cfg.merge_tables,
+        use_ocr: cfg.use_ocr,
+        summarize_images: cfg.summarize_images.clone(),
+        seed: cfg.seed,
+    });
+    let mut out = p.partition(doc.id.as_str(), &raw);
+    // Carry over upstream properties and lineage.
+    out.properties = doc.properties.clone();
+    let mut lineage = doc.lineage.clone();
+    lineage.append(&mut out.lineage);
+    out.lineage = lineage;
+    Ok(out)
+}
+
+/// Emits each element as a chunk document (paper §5.2: explode "creates a
+/// new DocSet containing the elements of its input documents").
+fn explode(doc: Document) -> Vec<Document> {
+    let parent_id = doc.id.0.clone();
+    doc.elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let mut child = Document::new(format!("{parent_id}#{i}"));
+            child.properties = doc.properties.clone();
+            child.set_prop("parent_id", parent_id.as_str());
+            child.set_prop("element_type", e.etype.name());
+            child.set_prop("page", e.page as i64);
+            child.content = aryn_core::DocContent::Text(e.content_text());
+            child.elements = vec![e.clone()];
+            child.lineage = doc.lineage.clone();
+            child
+                .lineage
+                .push(LineageRecord::new("explode", "").with_sources(vec![parent_id.clone()]));
+            child
+        })
+        .collect()
+}
+
+/// Renders an `llm_query` template: `{text}` is the selected document text,
+/// `{prop:path}` interpolates a property, `{id}` the document id.
+fn render_template(template: &str, doc: &Document, text: &str) -> String {
+    let mut out = String::with_capacity(template.len() + text.len());
+    let mut rest = template;
+    while let Some(start) = rest.find('{') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        match after.find('}') {
+            Some(end) => {
+                let key = &after[..end];
+                if key == "text" {
+                    out.push_str(text);
+                } else if key == "id" {
+                    out.push_str(doc.id.as_str());
+                } else if let Some(path) = key.strip_prefix("prop:") {
+                    if let Some(v) = doc.prop(path) {
+                        out.push_str(&v.display_text());
+                    }
+                } else {
+                    out.push('{');
+                    out.push_str(key);
+                    out.push('}');
+                }
+                rest = &after[end + 1..];
+            }
+            None => {
+                out.push('{');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn llm_query(
+    client: &LlmClient,
+    template: &str,
+    output_path: &str,
+    selector: &ElementSelector,
+    mut doc: Document,
+) -> Result<Document> {
+    let text = selector.select_text(&doc);
+    let question = render_template(template, &doc, "");
+    let prompt = client.fit_prompt(&text, 256, |ctx| tasks::answer(&question, ctx));
+    let v = client.generate_json(&prompt, 256)?;
+    let answer = v
+        .get("answer")
+        .cloned()
+        .unwrap_or(Value::Null);
+    doc.properties.set_path(output_path, answer);
+    doc.lineage.push(
+        LineageRecord::new("llm_query", template.to_string()).with_llm(1, 0.0),
+    );
+    Ok(doc)
+}
+
+fn extract_properties(
+    client: &LlmClient,
+    schema: &Value,
+    selector: &ElementSelector,
+    mut doc: Document,
+) -> Result<Document> {
+    let text = selector.select_text(&doc);
+    let prompt = client.fit_prompt(&text, 512, |ctx| tasks::extract(schema, ctx));
+    let v = client.generate_json(&prompt, 512)?;
+    if let Some(fields) = v.as_object() {
+        for (k, val) in fields {
+            // Only accept fields the schema asked for — models sometimes
+            // hallucinate extras.
+            if schema.get(k).is_some() {
+                doc.properties.set_path(k, val.clone());
+            }
+        }
+    }
+    doc.lineage.push(
+        LineageRecord::new("extract_properties", json::to_string(schema)).with_llm(1, 0.0),
+    );
+    Ok(doc)
+}
+
+fn llm_filter(
+    client: &LlmClient,
+    predicate: &str,
+    selector: &ElementSelector,
+    mut doc: Document,
+) -> Result<Vec<Document>> {
+    let text = selector.select_text(&doc);
+    let prompt = client.fit_prompt(&text, 64, |ctx| tasks::filter(predicate, ctx));
+    let v = client.generate_json(&prompt, 64)?;
+    let keep = v.get("match").and_then(Value::as_bool).unwrap_or(false);
+    if keep {
+        doc.lineage
+            .push(LineageRecord::new("llm_filter", predicate.to_string()).with_llm(1, 0.0));
+        Ok(vec![doc])
+    } else {
+        Ok(vec![])
+    }
+}
+
+fn llm_classify(
+    client: &LlmClient,
+    question: &str,
+    labels: &[String],
+    output_path: &str,
+    selector: &ElementSelector,
+    mut doc: Document,
+) -> Result<Document> {
+    let text = selector.select_text(&doc);
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let prompt = client.fit_prompt(&text, 64, |ctx| tasks::classify(question, &label_refs, ctx));
+    let v = client.generate_json(&prompt, 64)?;
+    let label = v.get("label").cloned().unwrap_or(Value::Null);
+    doc.properties.set_path(output_path, label);
+    doc.lineage
+        .push(LineageRecord::new("llm_classify", question.to_string()).with_llm(1, 0.0));
+    Ok(doc)
+}
+
+fn summarize_doc(
+    client: &LlmClient,
+    instructions: &str,
+    output_path: &str,
+    selector: &ElementSelector,
+    mut doc: Document,
+) -> Result<Document> {
+    let text = selector.select_text(&doc);
+    let prompt = client.fit_prompt(&text, 256, |ctx| tasks::summarize(instructions, ctx));
+    let v = client.generate_json(&prompt, 256)?;
+    let summary = v.get("summary").cloned().unwrap_or(Value::Null);
+    doc.properties.set_path(output_path, summary);
+    doc.lineage
+        .push(LineageRecord::new("summarize", instructions.to_string()).with_llm(1, 0.0));
+    Ok(doc)
+}
+
+/// Summarizes each section of the document's semantic tree into
+/// `properties.section_summaries.<heading>`, one LLM call per section with
+/// a non-empty body.
+fn summarize_sections(client: &LlmClient, mut doc: Document) -> Result<Document> {
+    // Collect (heading, body text) pairs first: the tree borrows the doc.
+    let sections: Vec<(String, String)> = {
+        let tree = doc.tree();
+        tree.sections()
+            .iter()
+            .filter(|s| !s.body.is_empty())
+            .map(|s| {
+                let body: String = s
+                    .body
+                    .iter()
+                    .map(|i| doc.elements[*i].content_text())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                (s.heading_text().to_string(), body)
+            })
+            .collect()
+    };
+    let mut calls = 0u32;
+    for (heading, body) in sections {
+        if body.trim().is_empty() || heading.is_empty() {
+            continue;
+        }
+        let prompt = client.fit_prompt(&body, 128, |ctx| {
+            tasks::summarize(&format!("Summarize the {heading:?} section in one sentence."), ctx)
+        });
+        let v = client.generate_json(&prompt, 128)?;
+        let summary = v.get("summary").cloned().unwrap_or(Value::Null);
+        // Heading as a property key: sanitized to a path-safe slug.
+        let slug: String = heading
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        doc.properties
+            .set_path(&format!("section_summaries.{slug}"), summary);
+        calls += 1;
+    }
+    doc.lineage
+        .push(LineageRecord::new("summarize_sections", "").with_llm(calls, 0.0));
+    Ok(doc)
+}
+
+// ---------------------------------------------------------------------------
+// Barrier transforms
+// ---------------------------------------------------------------------------
+
+/// Groups documents by a key property and aggregates. Missing keys group
+/// under `Null`; missing aggregated values are skipped.
+pub fn reduce_by_key(docs: Vec<Document>, key: &str, aggs: &[(String, Agg)]) -> Vec<Document> {
+    let mut sorted = docs;
+    sorted.sort_by(|a, b| {
+        let ka = a.prop(key).cloned().unwrap_or(Value::Null);
+        let kb = b.prop(key).cloned().unwrap_or(Value::Null);
+        ka.cmp_total(&kb)
+    });
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let key_val = sorted[i].prop(key).cloned().unwrap_or(Value::Null);
+        let mut j = i;
+        while j < sorted.len() {
+            let kj = sorted[j].prop(key).cloned().unwrap_or(Value::Null);
+            if kj.cmp_total(&key_val) != std::cmp::Ordering::Equal {
+                break;
+            }
+            j += 1;
+        }
+        let group = &sorted[i..j];
+        let mut g = Document::new(format!("group:{}", key_val.display_text()));
+        g.set_prop(key, key_val.clone());
+        g.set_prop("count", group.len() as i64);
+        for (out_name, agg) in aggs {
+            let v = eval_agg(group, agg);
+            g.properties.set_path(out_name, v);
+        }
+        g.lineage.push(
+            LineageRecord::new("reduce_by_key", key.to_string())
+                .with_sources(group.iter().map(|d| d.id.0.clone()).collect()),
+        );
+        out.push(g);
+        i = j;
+    }
+    out
+}
+
+fn eval_agg(group: &[Document], agg: &Agg) -> Value {
+    let nums = |path: &str| -> Vec<f64> {
+        group
+            .iter()
+            .filter_map(|d| d.prop(path))
+            .filter_map(Value::as_float)
+            .collect()
+    };
+    match agg {
+        Agg::Count => Value::Int(group.len() as i64),
+        Agg::Sum(path) => {
+            let xs = nums(path);
+            if xs.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(xs.iter().sum())
+            }
+        }
+        Agg::Avg(path) => {
+            let xs = nums(path);
+            if xs.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(xs.iter().sum::<f64>() / xs.len() as f64)
+            }
+        }
+        Agg::Min(path) | Agg::Max(path) => {
+            let mut vals: Vec<&Value> = group
+                .iter()
+                .filter_map(|d| d.prop(path))
+                .filter(|v| !v.is_null())
+                .collect();
+            vals.sort_by(|a, b| a.cmp_total(b));
+            let pick = if matches!(agg, Agg::Min(_)) {
+                vals.first()
+            } else {
+                vals.last()
+            };
+            pick.map(|v| (*v).clone()).unwrap_or(Value::Null)
+        }
+        Agg::CollectDistinct(path) => {
+            let mut vals: Vec<Value> = Vec::new();
+            for d in group {
+                if let Some(v) = d.prop(path) {
+                    if !v.is_null() && !vals.iter().any(|x| x.loose_eq(v)) {
+                        vals.push(v.clone());
+                    }
+                }
+            }
+            vals.sort_by(|a, b| a.cmp_total(b));
+            Value::Array(vals)
+        }
+    }
+}
+
+/// Stable sort by property (total order; missing = Null sorts first
+/// ascending, last descending).
+pub fn sort_by(mut docs: Vec<Document>, path: &str, descending: bool) -> Vec<Document> {
+    docs.sort_by(|a, b| {
+        let ka = a.prop(path).cloned().unwrap_or(Value::Null);
+        let kb = b.prop(path).cloned().unwrap_or(Value::Null);
+        let ord = ka.cmp_total(&kb);
+        if descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    docs
+}
+
+/// Hierarchical collection summarization: per-document summaries are packed
+/// into context-window-sized batches, each batch summarized, then the batch
+/// summaries summarized — so arbitrarily large collections fit bounded
+/// context (the paper's answer to "LLM context sizes are limited", §2).
+pub fn summarize_all(
+    client: &LlmClient,
+    instructions: &str,
+    docs: &[Document],
+) -> Result<Document> {
+    let mut pieces: Vec<String> = docs
+        .iter()
+        .map(|d| {
+            // Prefer an existing summary property; else lead text.
+            d.prop("summary")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| {
+                    aryn_core::text::truncate_tokens(&d.full_text(), 120).to_string()
+                })
+        })
+        .collect();
+    let mut rounds = 0;
+    while pieces.len() > 1 {
+        rounds += 1;
+        if rounds > 12 {
+            return Err(ArynError::Exec("summarize_all failed to converge".into()));
+        }
+        let budget = client.context_budget(96, 256).max(256);
+        let mut batches: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for p in &pieces {
+            let candidate_len =
+                aryn_core::text::count_tokens(&cur) + aryn_core::text::count_tokens(p) + 2;
+            if !cur.is_empty() && candidate_len > budget {
+                batches.push(std::mem::take(&mut cur));
+            }
+            if !cur.is_empty() {
+                cur.push_str("\n\n");
+            }
+            cur.push_str(aryn_core::text::truncate_tokens(p, budget.saturating_sub(8)));
+        }
+        if !cur.is_empty() {
+            batches.push(cur);
+        }
+        let mut next = Vec::with_capacity(batches.len());
+        for b in &batches {
+            let prompt = client.fit_prompt(b, 256, |ctx| tasks::summarize(instructions, ctx));
+            let v = client.generate_json(&prompt, 256)?;
+            next.push(
+                v.get("summary")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            );
+        }
+        if next.len() >= pieces.len() && pieces.len() > 1 {
+            // No progress (pathologically small budget): force-merge.
+            next = vec![next.join(" ")];
+        }
+        pieces = next;
+    }
+    let mut doc = Document::new("summary");
+    doc.set_prop("summary", pieces.pop().unwrap_or_default());
+    doc.set_prop("source_count", docs.len() as i64);
+    doc.lineage.push(
+        LineageRecord::new("summarize_all", instructions.to_string())
+            .with_sources(docs.iter().map(|d| d.id.0.clone()).collect()),
+    );
+    Ok(doc)
+}
+
+/// Materializes documents: cached in memory under `name`, optionally spilled
+/// to `{dir}/{name}.jsonl`.
+pub fn materialize(
+    ctx: &Context,
+    name: &str,
+    dir: Option<&std::path::Path>,
+    docs: &[Document],
+) -> Result<()> {
+    ctx.inner
+        .materialized
+        .write()
+        .insert(name.to_string(), docs.to_vec());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.jsonl"));
+        let mut out = String::new();
+        for d in docs {
+            out.push_str(&json::to_string(&aryn_core::serialize::document_to_value(d)));
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+    }
+    Ok(())
+}
+
+/// Loads a disk materialization written by [`materialize`].
+pub fn load_materialized(path: &std::path::Path) -> Result<Vec<Document>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| aryn_core::serialize::document_from_value(&json::parse(l)?))
+        .collect()
+}
+
+/// Groups documents into a BTreeMap keyed by the *display text* of a
+/// property — a helper for tests and joins.
+pub fn group_index(docs: &[Document], key: &str) -> BTreeMap<String, Vec<usize>> {
+    let mut out: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, d) in docs.iter().enumerate() {
+        let k = d
+            .prop(key)
+            .map(|v| v.display_text())
+            .unwrap_or_else(|| "null".into());
+        out.entry(k).or_default().push(i);
+    }
+    out
+}

@@ -1,0 +1,86 @@
+//! Interactive Luna session — the paper's "interactive UI / notebook"
+//! interface (§6.1) in terminal form.
+//!
+//! Usage:
+//!   cargo run --example luna_repl                    # interactive stdin loop
+//!   cargo run --example luna_repl -- "How many ..."  # one-shot question(s)
+//!
+//! Inside the loop, prefix a question with `explain ` to see the plan, the
+//! generated code, the optimizer notes, and the per-operator trace.
+
+use aryn::prelude::*;
+use luna::{earnings_schema, ntsb_schema};
+use std::io::{BufRead, Write as _};
+use std::sync::Arc;
+
+fn main() -> aryn_core::Result<()> {
+    eprintln!("loading corpora and ingesting (partition → extract → store)...");
+    let seed = 42;
+    let ctx = Context::new();
+    let ntsb = Corpus::ntsb(seed, 60);
+    let earnings = Corpus::earnings(seed, 48);
+    ctx.register_corpus("ntsb", &ntsb);
+    ctx.register_corpus("earnings", &earnings);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+    ingest_lake(&ctx, "ntsb", "ntsb", &client, ntsb_schema(), Detector::DetrSim)?;
+    ingest_lake(&ctx, "earnings", "earnings", &client, earnings_schema(), Detector::DetrSim)?;
+    let luna = Luna::new(
+        ctx,
+        &["ntsb", "earnings"],
+        LunaConfig {
+            sim: SimConfig::with_seed(seed),
+            ..LunaConfig::default()
+        },
+    )?;
+    eprintln!(
+        "ready: {} NTSB reports + {} earnings reports.\n",
+        ntsb.len(),
+        earnings.len()
+    );
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        for q in args {
+            run_question(&luna, &q, false)?;
+        }
+        return Ok(());
+    }
+
+    eprintln!("ask questions (\"explain <question>\" for the full trace, ctrl-d to exit):");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("luna> ");
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let (q, explain) = match line.strip_prefix("explain ") {
+            Some(rest) => (rest, true),
+            None => (line, false),
+        };
+        if let Err(e) = run_question(&luna, q, explain) {
+            eprintln!("error: {e}");
+        }
+    }
+    eprintln!("\ntotal simulated LLM spend this session: ${:.4}", luna.total_cost());
+    Ok(())
+}
+
+fn run_question(luna: &Luna, question: &str, explain: bool) -> aryn_core::Result<()> {
+    let ans = luna.ask(question)?;
+    if explain {
+        println!("{}", ans.explain());
+    } else {
+        println!("Q: {question}");
+        println!("A: {}\n", ans.answer());
+    }
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Reproducibility: every stage of the system is a pure function of its
+//! seed (DESIGN.md §5). Same seed → bit-identical corpora, partitions,
+//! LLM behaviour, and answers; different seed → different worlds.
+
+use aryn::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn corpora_are_seed_deterministic() {
+    let a = Corpus::mixed(11, 6, 6);
+    let b = Corpus::mixed(11, 6, 6);
+    for (x, y) in a.docs.iter().zip(&b.docs) {
+        assert_eq!(x.raw, y.raw);
+        assert_eq!(x.record, y.record);
+        assert_eq!(x.ground_truth.boxes.len(), y.ground_truth.boxes.len());
+    }
+    let c = Corpus::mixed(12, 6, 6);
+    assert_ne!(a.docs[0].raw, c.docs[0].raw);
+}
+
+#[test]
+fn partitioner_output_is_deterministic_per_seed() {
+    let corpus = Corpus::ntsb(5, 4);
+    let p = Partitioner::with_detector(Detector::DetrSim);
+    for d in &corpus.docs {
+        assert_eq!(p.partition(&d.id, &d.raw), p.partition(&d.id, &d.raw));
+    }
+    // Different partitioner seeds draw different noise.
+    let p2 = Partitioner::new(PartitionerOptions {
+        seed: 999,
+        ..PartitionerOptions::default()
+    });
+    let d = &corpus.docs[0];
+    assert_ne!(
+        p.partition(&d.id, &d.raw).elements.len() * 1000
+            + p.partition(&d.id, &d.raw)
+                .elements
+                .iter()
+                .map(|e| e.etype as usize)
+                .sum::<usize>(),
+        p2.partition(&d.id, &d.raw).elements.len() * 1000
+            + p2.partition(&d.id, &d.raw)
+                .elements
+                .iter()
+                .map(|e| e.etype as usize)
+                .sum::<usize>(),
+        "noise draws should differ across seeds for at least this document"
+    );
+}
+
+#[test]
+fn llm_responses_are_deterministic_at_temperature_zero() {
+    let m = MockLlm::new(&GPT4_SIM, SimConfig::with_seed(42));
+    let client_a = LlmClient::new(Arc::new(m));
+    let client_b = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(42))));
+    for i in 0..10 {
+        let p = aryn_llm::prompt::tasks::filter(
+            &format!("caused by wind in case {i}"),
+            "The wind gusted and the airplane crashed near Reno, NV.",
+        );
+        assert_eq!(client_a.generate(&p, 64).unwrap(), client_b.generate(&p, 64).unwrap());
+    }
+}
+
+#[test]
+fn pipelines_are_deterministic_across_runs_and_thread_counts() {
+    let run = |threads: usize| -> Vec<Document> {
+        let ctx = Context::new().with_exec(ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        });
+        let corpus = Corpus::ntsb(21, 10);
+        ctx.register_corpus("ntsb", &corpus);
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(21))));
+        ctx.read_lake("ntsb")
+            .unwrap()
+            .partition("ntsb", PartitionCfg::default())
+            .extract_properties(&client, obj! { "us_state_abbrev" => "string", "cause_detail" => "string" })
+            .explode()
+            .embed()
+            .collect()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(4);
+    assert_eq!(a, b, "same-seed runs identical");
+    assert_eq!(a, c, "parallelism does not change results");
+}
+
+#[test]
+fn luna_answers_are_reproducible() {
+    let ask = || -> String {
+        let ctx = Context::new();
+        let corpus = Corpus::ntsb(33, 20);
+        ctx.register_corpus("ntsb", &corpus);
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(33))));
+        ingest_lake(&ctx, "ntsb", "ntsb", &client, luna::ntsb_schema(), Detector::DetrSim).unwrap();
+        let luna = Luna::new(
+            ctx,
+            &["ntsb"],
+            LunaConfig {
+                sim: SimConfig::with_seed(33),
+                ..LunaConfig::default()
+            },
+        )
+        .unwrap();
+        luna.ask("What percent of environmentally caused incidents were due to wind?")
+            .unwrap()
+            .answer()
+            .to_string()
+    };
+    assert_eq!(ask(), ask());
+}
+
+#[test]
+fn embeddings_are_stable() {
+    let e = aryn_llm::HashedBowEmbedder::new(128, 7);
+    use aryn_llm::EmbeddingModel;
+    let v1 = e.embed("the pilot reported wind gusts");
+    let v2 = e.embed("the pilot reported wind gusts");
+    assert_eq!(v1, v2);
+}

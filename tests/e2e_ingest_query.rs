@@ -1,0 +1,129 @@
+//! Whole-system integration: raw corpus → partition → extract → store →
+//! natural-language analytics, for both domains, graded against ground truth.
+
+use aryn::prelude::*;
+use aryn_core::Value;
+use luna::{earnings_schema, ntsb_schema};
+use std::sync::Arc;
+
+#[test]
+fn ntsb_end_to_end() {
+    let seed = 5;
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(seed, 30);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+    let n = ingest_lake(&ctx, "ntsb", "ntsb", &client, ntsb_schema(), Detector::DetrSim).unwrap();
+    assert_eq!(n, 30);
+
+    let luna = Luna::new(
+        ctx,
+        &["ntsb"],
+        LunaConfig {
+            sim: SimConfig::with_seed(seed),
+            ..LunaConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Count question vs ground truth (pushdown keeps it on extracted fields).
+    let truth_env = corpus
+        .docs
+        .iter()
+        .filter(|d| d.record.get("weather_related").and_then(Value::as_bool) == Some(true))
+        .count() as f64;
+    let ans = luna
+        .ask("How many incidents were caused by environmental factors?")
+        .unwrap();
+    let got = aryn_llm::semantics::first_number(ans.answer()).unwrap();
+    assert!(
+        (got - truth_env).abs() <= 2.0,
+        "got {got}, truth {truth_env}"
+    );
+
+    // The whole path is explainable: plan, code, notes, trace all render.
+    let explain = ans.explain();
+    for needle in ["Plan:", "Generated code:", "Execution trace:"] {
+        assert!(explain.contains(needle));
+    }
+}
+
+#[test]
+fn earnings_end_to_end() {
+    let seed = 9;
+    let ctx = Context::new();
+    let corpus = Corpus::earnings(seed, 24);
+    ctx.register_corpus("earnings", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+    ingest_lake(&ctx, "earnings", "earnings", &client, earnings_schema(), Detector::DetrSim)
+        .unwrap();
+    let luna = Luna::new(
+        ctx,
+        &["earnings"],
+        LunaConfig {
+            sim: SimConfig::with_seed(seed),
+            ..LunaConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Aggregate over a sector.
+    let ai: Vec<f64> = corpus
+        .docs
+        .iter()
+        .filter(|d| d.record.get("sector").and_then(Value::as_str) == Some("AI"))
+        .map(|d| d.record.get("growth_pct").and_then(Value::as_float).unwrap_or(0.0))
+        .collect();
+    if !ai.is_empty() {
+        let truth = ai.iter().sum::<f64>() / ai.len() as f64;
+        let ans = luna
+            .ask("What was the average revenue growth of companies in the AI sector?")
+            .unwrap();
+        let got = aryn_llm::semantics::first_number(ans.answer()).unwrap();
+        assert!(
+            (got - truth).abs() <= truth.abs() * 0.35 + 2.0,
+            "got {got}, truth {truth}"
+        );
+    }
+
+    // Cross-checking both routing directions: the planner picks the right
+    // index per domain vocabulary.
+    let p1 = luna.plan("How many companies lowered their guidance?").unwrap();
+    assert!(matches!(&p1.nodes[0].op, luna::PlanOp::QueryDatabase { index, .. } if index == "earnings"));
+}
+
+#[test]
+fn writers_feed_all_three_store_kinds() {
+    // Paper §3: DocSets write to "keyword, vector, and graph stores".
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(3, 8);
+    ctx.register_corpus("ntsb", &corpus);
+    let ds = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .partition("ntsb", PartitionCfg::default());
+    ds.write_store("docs").unwrap();
+    ds.clone().explode().write_keyword("kw").unwrap();
+    ds.clone().explode().embed().write_vector("vec").unwrap();
+
+    // Keyword search finds cause language.
+    let hits = ctx.with_keyword("kw", |k| k.search("probable cause wind", 5)).unwrap();
+    assert!(!hits.is_empty());
+    // Vector search returns neighbours.
+    let q = ctx.embedder().embed("airplane impacted terrain");
+    let nn = ctx.with_vector("vec", |v| v.search(&q, 5)).unwrap().unwrap();
+    assert_eq!(nn.len(), 5);
+    // Graph store: build entities from extracted docs (pay-as-you-go KG).
+    let mut graph = aryn_index::GraphStore::new();
+    ctx.with_store("docs", |s| {
+        for d in s.scan() {
+            graph.upsert_node(aryn_index::GraphNode {
+                id: d.id.0.clone(),
+                label: "incident".into(),
+                properties: d.properties.clone(),
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(graph.node_count(), 8);
+}

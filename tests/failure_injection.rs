@@ -1,0 +1,153 @@
+//! Reliability under injected failures: worker crashes (the Ray-style retry
+//! path, §5.3) and LLM-level faults (rate limits, malformed JSON).
+
+use aryn::prelude::*;
+use aryn_core::ArynError;
+use std::sync::Arc;
+
+#[test]
+fn worker_failures_retry_transparently_in_parallel_mode() {
+    let base = Context::new();
+    let corpus = Corpus::ntsb(1, 24);
+    base.register_corpus("ntsb", &corpus);
+    let flaky = base.with_exec(ExecConfig {
+        threads: 4,
+        fail_rate: 0.25,
+        max_retries: 8,
+        ..ExecConfig::default()
+    });
+    let (docs, stats) = flaky
+        .read_lake("ntsb")
+        .unwrap()
+        .partition("ntsb", PartitionCfg::default())
+        .explode()
+        .collect_stats()
+        .unwrap();
+    assert!(docs.len() > 100, "all chunks produced: {}", docs.len());
+    assert!(stats.total_retries() > 0, "failures must have been injected");
+    assert_eq!(stats.total_failed_docs(), 0, "retries absorb every failure");
+
+    // The same pipeline without failures yields identical output.
+    let calm = base.with_exec(ExecConfig {
+        threads: 4,
+        ..ExecConfig::default()
+    });
+    let clean = calm
+        .read_lake("ntsb")
+        .unwrap()
+        .partition("ntsb", PartitionCfg::default())
+        .explode()
+        .collect()
+        .unwrap();
+    assert_eq!(docs.len(), clean.len());
+    for (a, b) in docs.iter().zip(&clean) {
+        assert_eq!(a.id, b.id);
+    }
+}
+
+#[test]
+fn permanent_failures_follow_policy() {
+    let base = Context::new();
+    base.register_corpus("ntsb", &Corpus::ntsb(2, 6));
+    // Fail-stop policy: the pipeline errors.
+    let strict = base.with_exec(ExecConfig {
+        fail_rate: 1.0,
+        max_retries: 1,
+        skip_failures: false,
+        ..ExecConfig::default()
+    });
+    let err = strict
+        .read_lake("ntsb")
+        .unwrap()
+        .map("id", |d| d)
+        .collect()
+        .unwrap_err();
+    assert!(matches!(err, ArynError::Exec(_)));
+    // Skip policy: failures are counted, the rest flows.
+    let lenient = base.with_exec(ExecConfig {
+        fail_rate: 1.0,
+        max_retries: 1,
+        skip_failures: true,
+        ..ExecConfig::default()
+    });
+    let (docs, stats) = lenient
+        .read_lake("ntsb")
+        .unwrap()
+        .map("id", |d| d)
+        .collect_stats()
+        .unwrap();
+    assert!(docs.is_empty());
+    assert_eq!(stats.total_failed_docs(), 6);
+}
+
+#[test]
+fn llm_transient_failures_are_absorbed_by_the_client() {
+    // 30x the base transient rate: the retry loop still lands nearly all
+    // calls; failures surface in the meter, not the results.
+    let sim = SimConfig {
+        seed: 3,
+        transient_scale: 30.0,
+        ..SimConfig::perfect(3)
+    };
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, sim)));
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(3, 20);
+    ctx.register_corpus("ntsb", &corpus);
+    let docs = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+        .collect()
+        .unwrap();
+    assert_eq!(docs.len(), 20);
+    let stats = client.stats();
+    assert!(stats.transient_failures > 0, "{stats:?}");
+    assert!(stats.retries > 0);
+}
+
+#[test]
+fn malformed_llm_output_is_repaired_or_retried_at_scale() {
+    // 5x malformation: the lenient parser + re-asks keep the pipeline alive.
+    let sim = SimConfig {
+        seed: 7,
+        malformed_scale: 5.0,
+        error_scale: 0.0,
+        transient_scale: 0.0,
+    };
+    let client = LlmClient::new(Arc::new(MockLlm::new(&LLAMA7B_SIM, sim)));
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(7, 40);
+    ctx.register_corpus("ntsb", &corpus);
+    // skip_failures: a handful of documents may exhaust re-asks at a 70%
+    // malformation rate; they must be counted, not crash the pipeline.
+    let lenient = ctx.with_exec(ExecConfig {
+        skip_failures: true,
+        ..ExecConfig::default()
+    });
+    let (docs, stats) = lenient
+        .read_lake("ntsb")
+        .unwrap()
+        .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+        .collect_stats()
+        .unwrap();
+    let meter = client.stats();
+    assert!(meter.parse_repairs > 0, "lenient repairs fire: {meter:?}");
+    assert!(docs.len() + stats.total_failed_docs() == 40);
+    assert!(docs.len() >= 35, "most documents survive: {}", docs.len());
+}
+
+#[test]
+fn context_overflow_is_a_clean_error_not_a_hang() {
+    let client = LlmClient::new(Arc::new(MockLlm::new(&LLAMA7B_SIM, SimConfig::perfect(1))));
+    let huge = "long repetitive filler text ".repeat(4000);
+    let prompt = aryn_llm::prompt::tasks::answer("what?", &huge);
+    match client.generate(&prompt, 128) {
+        Err(ArynError::ContextOverflow { needed, window }) => {
+            assert!(needed > window);
+        }
+        other => panic!("expected overflow, got {other:?}"),
+    }
+    // fit_prompt is the sanctioned way in: it truncates to the window.
+    let fitted = client.fit_prompt(&huge, 128, |c| aryn_llm::prompt::tasks::answer("what?", c));
+    assert!(client.generate(&fitted, 128).is_ok());
+}

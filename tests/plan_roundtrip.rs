@@ -1,0 +1,160 @@
+//! Plans as durable artifacts: JSON round-trips (including through files on
+//! disk), validation of edited plans, and stable code generation — the
+//! substrate of the paper's human-in-the-loop workflow.
+
+use aryn::prelude::*;
+use aryn_core::{json, Value};
+use luna::{Plan, PlanNode, PlanOp};
+use std::sync::Arc;
+
+fn planned_fixture() -> (Luna, Plan) {
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(2, 12);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(2))));
+    ingest_lake(&ctx, "ntsb", "ntsb", &client, luna::ntsb_schema(), Detector::DetrSim).unwrap();
+    let luna = Luna::new(
+        ctx,
+        &["ntsb"],
+        LunaConfig {
+            sim: SimConfig::perfect(2),
+            ..LunaConfig::default()
+        },
+    )
+    .unwrap();
+    let plan = luna
+        .plan("What percent of environmentally caused incidents were due to wind?")
+        .unwrap();
+    (luna, plan)
+}
+
+#[test]
+fn plan_survives_a_trip_through_a_file() {
+    let (luna, plan) = planned_fixture();
+    let path = std::env::temp_dir().join("aryn-plan-roundtrip.json");
+    std::fs::write(&path, json::to_string_pretty(&plan.to_value())).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let loaded = Plan::parse(&text).unwrap();
+    assert_eq!(loaded, plan);
+    // The reloaded plan executes identically.
+    let a = luna.execute(&luna.optimize(&plan).plan).unwrap();
+    let b = luna.execute(&luna.optimize(&loaded).plan).unwrap();
+    assert_eq!(a.answer, b.answer);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn plan_parses_from_prose_wrapped_llm_output() {
+    let (_, plan) = planned_fixture();
+    let chatter = format!(
+        "Sure, here is the query plan you requested:\n```json\n{}\n```\nLet me know!",
+        json::to_string_pretty(&plan.to_value())
+    );
+    assert_eq!(Plan::parse(&chatter).unwrap(), plan);
+}
+
+#[test]
+fn edits_are_validated_before_execution() {
+    let (luna, plan) = planned_fixture();
+    // Good edit: change a predicate.
+    let mut edited = plan.clone();
+    for n in &mut edited.nodes {
+        if let PlanOp::LlmFilter { predicate, .. } = &mut n.op {
+            if predicate.contains("wind") {
+                *predicate = "caused by fog".into();
+            }
+        }
+    }
+    assert!(luna.execute_edited(&edited).is_ok());
+    // Bad edits: dangling input, cycle, empty predicate.
+    let mut dangling = plan.clone();
+    dangling.nodes[2].inputs = vec![77];
+    assert!(luna.execute_edited(&dangling).is_err());
+    let mut cyclic = plan.clone();
+    let last = cyclic.nodes.len() - 1;
+    let last_id = cyclic.nodes[last].id;
+    cyclic.nodes[0].inputs = vec![last_id];
+    assert!(luna.execute_edited(&cyclic).is_err());
+    let mut empty_pred = plan;
+    for n in &mut empty_pred.nodes {
+        if let PlanOp::LlmFilter { predicate, .. } = &mut n.op {
+            *predicate = "  ".into();
+        }
+    }
+    assert!(luna.execute_edited(&empty_pred).is_err());
+}
+
+#[test]
+fn codegen_matches_figure6_for_the_sample_query() {
+    // Build the paper's Figure 5 plan directly and render it.
+    let plan = Plan {
+        nodes: vec![
+            PlanNode {
+                id: 0,
+                op: PlanOp::QueryDatabase { index: "ntsb".into(), prefilter: vec![] },
+                inputs: vec![],
+                description: String::new(),
+            },
+            PlanNode {
+                id: 1,
+                op: PlanOp::LlmFilter {
+                    predicate: "caused by environmental factors".into(),
+                    model: String::new(),
+                },
+                inputs: vec![0],
+                description: String::new(),
+            },
+            PlanNode { id: 2, op: PlanOp::Count, inputs: vec![1], description: String::new() },
+            PlanNode {
+                id: 3,
+                op: PlanOp::LlmFilter { predicate: "caused by wind".into(), model: String::new() },
+                inputs: vec![0],
+                description: String::new(),
+            },
+            PlanNode { id: 4, op: PlanOp::Count, inputs: vec![3], description: String::new() },
+            PlanNode {
+                id: 5,
+                op: PlanOp::Math { expr: "100 * {out_4}/{out_2}".into() },
+                inputs: vec![2, 4],
+                description: String::new(),
+            },
+        ],
+        result: 5,
+    };
+    let code = luna::codegen::to_python(&plan);
+    let expected = "\
+out_0 = context.read.opensearch(index_name=\"ntsb\")
+out_1 = out_0.filter(\"caused by environmental factors\")
+out_2 = out_1.count()
+out_3 = out_0.filter(\"caused by wind\")
+out_4 = out_3.count()
+out_5 = math_operation(expr=\"100 * {out_4}/{out_2}\")
+result = out_5
+";
+    assert_eq!(code, expected);
+}
+
+#[test]
+fn optimizer_is_idempotent_on_its_own_output() {
+    let (luna, plan) = planned_fixture();
+    let once = luna.optimize(&plan);
+    let twice = luna.optimize(&once.plan);
+    assert_eq!(once.plan, twice.plan, "optimizing an optimized plan is a no-op");
+}
+
+#[test]
+fn plans_tolerate_unknown_json_fields() {
+    // Forward compatibility: extra keys from a chattier model are ignored.
+    let text = r#"{
+        "result": 1,
+        "confidence": 0.93,
+        "nodes": [
+            {"id": 0, "op": "queryDatabase", "index": "ntsb", "inputs": [], "comment": "scan"},
+            {"id": 1, "op": "count", "inputs": [0], "cost_estimate": 12}
+        ]
+    }"#;
+    let plan = Plan::parse(text).unwrap();
+    assert_eq!(plan.nodes.len(), 2);
+    assert!(matches!(plan.node(1).unwrap().op, PlanOp::Count));
+    let _ = Value::Null;
+}
