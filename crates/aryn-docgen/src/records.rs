@@ -87,7 +87,7 @@ impl NtsbRecord {
             3 | 4 => (0, 0, rng.gen_range(1..3)),
             _ => (0, 0, 0),
         };
-        let aboard = (fatal + serious + minor).max(1) + rng.gen_range(0..3);
+        let aboard = (fatal + serious + minor).max(1) + rng.gen_range(0..3u32);
         let pilot = format!(
             "{} {}",
             lexicon::FIRST_NAMES[rng.gen_range(0..lexicon::FIRST_NAMES.len())],
@@ -201,7 +201,7 @@ impl EarningsRecord {
         let year = rng.gen_range(2022..2025);
         let growth_pct = (rng.gen_range(-15.0..35.0f64) * 10.0).round() / 10.0;
         let revenue = (base_revenue * (1.0 + growth_pct / 100.0) * 10.0).round() / 10.0;
-        let eps = ((revenue / crng.gen_range(150.0..400.0)) * 100.0).round() / 100.0;
+        let eps = ((revenue / crng.gen_range(150.0f64..400.0)) * 100.0).round() / 100.0;
         let guidance = if growth_pct > 12.0 && rng.gen_bool(0.7) {
             "raised"
         } else if growth_pct < -4.0 && rng.gen_bool(0.6) {
@@ -210,11 +210,18 @@ impl EarningsRecord {
             "maintained"
         };
         let ceo_changed = rng.gen_bool(0.25);
-        let new_ceo = format!(
-            "{} {}",
-            lexicon::FIRST_NAMES[rng.gen_range(0..lexicon::FIRST_NAMES.len())],
-            lexicon::LAST_NAMES[rng.gen_range(0..lexicon::LAST_NAMES.len())]
-        );
+        // A replacement CEO must actually be a different person; redraw on
+        // the (rare) collision with the incumbent's name.
+        let new_ceo = loop {
+            let candidate = format!(
+                "{} {}",
+                lexicon::FIRST_NAMES[rng.gen_range(0..lexicon::FIRST_NAMES.len())],
+                lexicon::LAST_NAMES[rng.gen_range(0..lexicon::LAST_NAMES.len())]
+            );
+            if candidate != steady_ceo {
+                break candidate;
+            }
+        };
         EarningsRecord {
             id: format!("earn-{i:05}"),
             company,

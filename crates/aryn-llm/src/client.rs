@@ -24,6 +24,41 @@ pub struct UsageStats {
     pub usage: Usage,
 }
 
+impl UsageStats {
+    /// Counters accumulated since `earlier` (a prior snapshot of the same
+    /// meter). Saturating, so a reset meter yields zeros rather than wrapping.
+    pub fn since(&self, earlier: &UsageStats) -> UsageStats {
+        UsageStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            retries: self.retries.saturating_sub(earlier.retries),
+            parse_repairs: self.parse_repairs.saturating_sub(earlier.parse_repairs),
+            parse_failures: self.parse_failures.saturating_sub(earlier.parse_failures),
+            transient_failures: self
+                .transient_failures
+                .saturating_sub(earlier.transient_failures),
+            usage: Usage {
+                input_tokens: self.usage.input_tokens.saturating_sub(earlier.usage.input_tokens),
+                output_tokens: self
+                    .usage
+                    .output_tokens
+                    .saturating_sub(earlier.usage.output_tokens),
+                cost_usd: (self.usage.cost_usd - earlier.usage.cost_usd).max(0.0),
+                latency_ms: (self.usage.latency_ms - earlier.usage.latency_ms).max(0.0),
+            },
+        }
+    }
+
+    /// Merge another snapshot into this one (summing all counters).
+    pub fn merge(&mut self, other: &UsageStats) {
+        self.calls += other.calls;
+        self.retries += other.retries;
+        self.parse_repairs += other.parse_repairs;
+        self.parse_failures += other.parse_failures;
+        self.transient_failures += other.transient_failures;
+        self.usage.add(&other.usage);
+    }
+}
+
 /// Thread-safe usage meter.
 #[derive(Debug, Default)]
 pub struct UsageMeter {

@@ -378,7 +378,7 @@ fn shrink_completion(text: &str, max_tokens: usize) -> String {
 fn wrong_value_like(v: &Value, rng: &mut StdRng) -> Value {
     match v {
         Value::Bool(b) => Value::Bool(!b),
-        Value::Int(i) => Value::Int(i + rng.gen_range(1..5)),
+        Value::Int(i) => Value::Int(i + rng.gen_range(1i64..5)),
         Value::Float(f) => Value::Float(f * (1.0 + rng.gen_range(0.1..0.5))),
         Value::Str(s) => {
             // Swap a state for a different state, a category for another, a

@@ -147,6 +147,16 @@ pub fn eval_predicate(predicate: &str, context: &str) -> bool {
     if p.contains("negative sentiment") || p.contains("pessimistic") {
         return sentiment(context) == "negative";
     }
+    // Sector membership: "in the AI sector" holds when the report talks
+    // about that sector at all, even without the literal word "sector"
+    // nearby ("a slowdown in AI spending").
+    if p.contains("sector") {
+        for name in lexicon::SECTORS {
+            if p.contains(&name.to_lowercase()) {
+                return contains_term(context, name);
+            }
+        }
+    }
     // Generic: a majority of the predicate's content terms appear, with
     // simple negation awareness.
     let terms: Vec<String> = analyze(&p)

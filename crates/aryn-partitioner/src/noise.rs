@@ -134,7 +134,7 @@ pub fn apply(model: &NoiseModel, regions: &[Region], seed: u64, doc_key: &str) -
 /// Confidence for a detection under this model (correct detections score
 /// higher; callers don't know which are correct, so this keys off the draw).
 pub fn confidence(model: &NoiseModel, rng: &mut StdRng) -> f32 {
-    (model.base_confidence + rng.gen_range(-0.12..0.13)).clamp(0.05, 0.99)
+    (model.base_confidence + rng.gen_range(-0.12f32..0.13)).clamp(0.05, 0.99)
 }
 
 fn jitter_box(b: &BBox, jitter: f32, rng: &mut StdRng) -> BBox {

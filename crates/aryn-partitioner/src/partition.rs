@@ -14,8 +14,10 @@ use aryn_core::{obj, stable_hash, Document, Element, ElementType, ImageInfo, Lin
 use aryn_docgen::layout::RawDocument;
 use aryn_llm::prompt::tasks;
 use aryn_llm::LlmClient;
+use aryn_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Which detector backbone to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +60,9 @@ pub struct PartitionerOptions {
     /// Summarize images via a multimodal LLM client.
     pub summarize_images: Option<LlmClient>,
     pub seed: u64,
+    /// Span collector for per-document stage timings (detect / assemble /
+    /// tables) and counters. The default is a disabled null sink.
+    pub telemetry: Telemetry,
 }
 
 impl Default for PartitionerOptions {
@@ -69,6 +74,7 @@ impl Default for PartitionerOptions {
             use_ocr: true,
             summarize_images: None,
             seed: 0x9A27,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -106,7 +112,12 @@ impl Partitioner {
 
     /// Partitions a raw document into a [`Document`] with typed elements.
     pub fn partition(&self, id: &str, raw: &RawDocument) -> Document {
+        let detect_start = Instant::now();
         let regions = self.detect(raw, id);
+        let detect_ms = detect_start.elapsed().as_secs_f64() * 1e3;
+        let mut ocr_calls = 0u64;
+        let mut image_summaries = 0u64;
+        let assemble_start = Instant::now();
         let mut doc = Document::new(id);
         doc.content = aryn_core::DocContent::Text(raw.full_text());
         let mut rng = StdRng::seed_from_u64(stable_hash(self.opts.seed, &["confidence", id]));
@@ -136,9 +147,11 @@ impl Partitioner {
                     if self.opts.use_ocr && !img.embedded_text.is_empty() {
                         info.ocr_text =
                             Some(self.ocr.recognize(&img.embedded_text, &format!("{id}/{}", region.page)));
+                        ocr_calls += 1;
                     }
                     if let Some(client) = &self.opts.summarize_images {
                         info.summary = summarize_image(client, &img.description).ok();
+                        image_summaries += 1;
                     }
                     e.properties
                         .set_path("image_description", Value::from(img.description.as_str()));
@@ -147,16 +160,41 @@ impl Partitioner {
             }
             doc.elements.push(e);
         }
+        let assemble_ms = assemble_start.elapsed().as_secs_f64() * 1e3;
+        let tables_start = Instant::now();
         if self.opts.extract_tables {
             tables::attach_tables(&mut doc, raw);
         }
+        let table_count = |d: &Document| d.elements.iter().filter(|e| e.etype == ElementType::Table).count();
+        let tables_before_merge = table_count(&doc);
         if self.opts.merge_tables {
             tables::merge_cross_page_tables(&mut doc);
         }
+        let tables_merged = tables_before_merge - table_count(&doc);
+        let tables_ms = tables_start.elapsed().as_secs_f64() * 1e3;
         doc.lineage.push(LineageRecord::new(
             "partition",
             format!("detector={} pages={}", self.opts.detector.name(), raw.pages),
         ));
+        if self.opts.telemetry.is_enabled() {
+            let structured = doc
+                .elements
+                .iter()
+                .filter(|e| e.etype == ElementType::Table && e.table.is_some())
+                .count();
+            let mut span = self.opts.telemetry.span("partition_doc", "partitioner");
+            span.note(format!("doc={id} detector={}", self.opts.detector.name()));
+            span.set("regions", regions.len() as u64)
+                .set("elements", doc.elements.len() as u64)
+                .set("ocr_calls", ocr_calls)
+                .set("image_summaries", image_summaries)
+                .set("tables_structured", structured as u64)
+                .set("tables_merged", tables_merged as u64)
+                .gauge("detect_ms", detect_ms)
+                .gauge("assemble_ms", assemble_ms)
+                .gauge("tables_ms", tables_ms);
+            span.finish();
+        }
         doc
     }
 

@@ -20,6 +20,7 @@ pub use aryn_index;
 pub use aryn_llm;
 pub use aryn_partitioner;
 pub use aryn_rag;
+pub use aryn_telemetry;
 pub use luna;
 pub use sycamore;
 
@@ -29,6 +30,7 @@ pub mod prelude {
     pub use aryn_docgen::{Corpus, NtsbRecord};
     pub use aryn_llm::{LlmClient, MockLlm, SimConfig, GPT35_SIM, GPT4_SIM, LLAMA7B_SIM};
     pub use aryn_partitioner::{Detector, Partitioner, PartitionerOptions};
+    pub use aryn_telemetry::{Telemetry, Trace};
     pub use luna::{ingest_lake, Luna, LunaConfig};
     pub use sycamore::{Agg, Context, ExecConfig, PartitionCfg};
 }

@@ -23,6 +23,20 @@ fn main() {
         let answer: String = a.answer().chars().take(46).collect();
         println!("{:<70} {:<11} {answer}", cut(&q.question, 68), grade);
     }
+    // Export every question's telemetry spans as one JSON trace artifact.
+    let mut spans = Vec::new();
+    for (_, a, _) in &rows {
+        spans.extend(a.trace.spans.iter().cloned());
+    }
+    let trace = aryn::aryn_telemetry::Trace {
+        label: "luna_accuracy".into(),
+        spans,
+    };
+    match bench::export_trace("luna_accuracy", &trace) {
+        Ok(p) => println!("\ntrace exported to {}", p.display()),
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
+
     let (c, p, i) = tally(&rows);
     println!("\ntally: {c} correct / {p} plausible / {i} incorrect  (accuracy {:.0}%)", 100.0 * c as f64 / rows.len() as f64);
     println!("paper: 13 correct / 3 plausible / 2 incorrect  (accuracy 72%)");

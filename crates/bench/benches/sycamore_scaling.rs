@@ -61,6 +61,25 @@ fn bench_scaling(c: &mut Criterion) {
         );
     }
     g.finish();
+
+    // One instrumented run whose stage spans become the JSON trace artifact.
+    let ctx = Context::new().with_exec(ExecConfig {
+        threads: 4,
+        ..ExecConfig::default()
+    });
+    ctx.register_corpus("ntsb", &corpus);
+    ctx.read_lake("ntsb")
+        .unwrap()
+        .partition("ntsb", PartitionCfg::default())
+        .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+        .explode()
+        .embed()
+        .count()
+        .unwrap();
+    match bench::export_trace("sycamore_scaling", &ctx.telemetry().snapshot()) {
+        Ok(p) => println!("trace exported to {}", p.display()),
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_scaling);

@@ -1,1 +1,16 @@
-pub fn _placeholder() {}
+//! Shared helpers for the bench harnesses.
+
+use aryn::aryn_telemetry::Trace;
+use std::path::PathBuf;
+
+/// Writes a telemetry trace as pretty JSON under `bench_results/`, returning
+/// the path. Benches call this so every run leaves a machine-readable span
+/// artifact (per-stage rows, LLM calls, token counts, timings) next to the
+/// printed tables.
+pub fn export_trace(name: &str, trace: &Trace) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.trace.json"));
+    std::fs::write(&path, trace.to_json())?;
+    Ok(path)
+}

@@ -10,7 +10,8 @@ use crate::ops::{Plan, PlanOp};
 use aryn_core::{ArynError, Document, Result, Value};
 use aryn_index::GraphStore;
 use aryn_llm::prompt::tasks;
-use aryn_llm::LlmClient;
+use aryn_llm::{LlmClient, UsageStats};
+use aryn_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -58,6 +59,12 @@ pub struct NodeTrace {
     pub rows_out: usize,
     pub wall_ms: f64,
     pub llm_calls: u64,
+    /// LLM retries (transient failures + JSON re-asks) during this node.
+    pub retries: u64,
+    /// Prompt tokens consumed by this node's LLM calls.
+    pub input_tokens: u64,
+    /// Completion tokens produced by this node's LLM calls.
+    pub output_tokens: u64,
     pub cost_usd: f64,
     /// Up to three sample row ids (provenance peek).
     pub sample_ids: Vec<String>,
@@ -85,14 +92,33 @@ impl LunaResult {
         self.traces.iter().map(|t| t.llm_calls).sum()
     }
 
+    pub fn total_tokens(&self) -> u64 {
+        self.traces
+            .iter()
+            .map(|t| t.input_tokens + t.output_tokens)
+            .sum()
+    }
+
+    pub fn total_retries(&self) -> u64 {
+        self.traces.iter().map(|t| t.retries).sum()
+    }
+
     /// Renders the execution history as a table (the debugging view §6.1).
     pub fn render_trace(&self) -> String {
-        let mut out =
-            String::from("node  op              rows_in  rows_out  llm_calls  cost_usd\n");
+        let mut out = String::from(
+            "node  op              rows_in  rows_out  llm_calls  tokens  retries  cost_usd\n",
+        );
         for t in &self.traces {
             out.push_str(&format!(
-                "out_{:<2} {:<15} {:>7}  {:>8}  {:>9}  {:>9.4}\n",
-                t.node_id, t.op_kind, t.rows_in, t.rows_out, t.llm_calls, t.cost_usd
+                "out_{:<2} {:<15} {:>7}  {:>8}  {:>9}  {:>6}  {:>7}  {:>9.4}\n",
+                t.node_id,
+                t.op_kind,
+                t.rows_in,
+                t.rows_out,
+                t.llm_calls,
+                t.input_tokens + t.output_tokens,
+                t.retries,
+                t.cost_usd
             ));
         }
         out
@@ -108,15 +134,20 @@ pub struct PlanExecutor {
     pub model_clients: BTreeMap<String, LlmClient>,
     /// Knowledge graph for `graphExpand` nodes (None = the operator errors).
     pub graph: Option<std::sync::Arc<GraphStore>>,
+    /// Span collector; defaults to the context's, so engine-level stage
+    /// spans and Luna operator spans land in one trace.
+    pub telemetry: Telemetry,
 }
 
 impl PlanExecutor {
     pub fn new(ctx: sycamore::Context, client: LlmClient) -> PlanExecutor {
+        let telemetry = ctx.telemetry();
         PlanExecutor {
             ctx,
             client,
             model_clients: BTreeMap::new(),
             graph: None,
+            telemetry,
         }
     }
 
@@ -155,22 +186,27 @@ impl PlanExecutor {
                 .collect();
             let rows_in = inputs.iter().map(|o| o.len()).sum();
             let out = self.run_node(&node.op, &inputs, &outputs)?;
-            let after = self.meter_snapshot();
-            traces.push(NodeTrace {
+            let delta = self.meter_snapshot().since(&before);
+            let trace = NodeTrace {
                 node_id: id,
                 op_kind: node.op.kind().to_string(),
                 description: node.description.clone(),
                 rows_in,
                 rows_out: out.len(),
                 wall_ms: start.elapsed().as_secs_f64() * 1000.0,
-                llm_calls: after.0 - before.0,
-                cost_usd: after.1 - before.1,
+                llm_calls: delta.calls,
+                retries: delta.retries,
+                input_tokens: delta.usage.input_tokens as u64,
+                output_tokens: delta.usage.output_tokens as u64,
+                cost_usd: delta.usage.cost_usd,
                 sample_ids: out
                     .rows()
                     .map(|r| r.iter().take(3).map(|d| d.id.0.clone()).collect())
                     .unwrap_or_default(),
                 scalar: out.scalar().cloned(),
-            });
+            };
+            self.record_node_span(&trace);
+            traces.push(trace);
             outputs.insert(id, out);
         }
         let output = outputs.remove(&plan.result).expect("result executed");
@@ -182,15 +218,39 @@ impl PlanExecutor {
         })
     }
 
-    fn meter_snapshot(&self) -> (u64, f64) {
-        let mut calls = self.client.stats().calls;
-        let mut cost = self.client.stats().usage.cost_usd;
-        for c in self.model_clients.values() {
-            let s = c.stats();
-            calls += s.calls;
-            cost += s.usage.cost_usd;
+    /// Combined snapshot across the default client and all pinned model
+    /// clients, deduplicated by meter identity.
+    fn meter_snapshot(&self) -> UsageStats {
+        let mut seen: Vec<*const aryn_llm::UsageMeter> = Vec::new();
+        let mut total = UsageStats::default();
+        for client in std::iter::once(&self.client).chain(self.model_clients.values()) {
+            let meter = client.meter();
+            let ptr = std::sync::Arc::as_ptr(&meter);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                total.merge(&meter.snapshot());
+            }
         }
-        (calls, cost)
+        total
+    }
+
+    fn record_node_span(&self, t: &NodeTrace) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut span = self
+            .telemetry
+            .span(format!("out_{}:{}", t.node_id, t.op_kind), "operator");
+        span.note(t.description.clone());
+        span.set("rows_in", t.rows_in as u64)
+            .set("rows_out", t.rows_out as u64)
+            .set("llm_calls", t.llm_calls)
+            .set("retries", t.retries)
+            .set("llm_input_tokens", t.input_tokens)
+            .set("llm_output_tokens", t.output_tokens)
+            .gauge("wall_ms", t.wall_ms)
+            .gauge("llm_cost_usd", t.cost_usd);
+        span.finish();
     }
 
     fn run_node(

@@ -9,6 +9,7 @@ use crate::schema::IndexSchema;
 use aryn_core::{ArynError, Result, Value};
 use aryn_llm::prompt::tasks;
 use aryn_llm::{LlmClient, MockLlm, ModelSpec, SimConfig};
+use aryn_telemetry::{Telemetry, Trace};
 use std::sync::Arc;
 
 /// Luna configuration.
@@ -96,6 +97,11 @@ impl Luna {
         &self.schemas
     }
 
+    /// The span collector shared with the executor and the Sycamore engine.
+    pub fn telemetry(&self) -> Telemetry {
+        self.executor.telemetry.clone()
+    }
+
     pub fn context(&self) -> &sycamore::Context {
         &self.executor.ctx
     }
@@ -116,6 +122,29 @@ impl Luna {
         let base_prompt = tasks::plan(question, &schema_render, &PlanOp::KINDS);
         let mut prompt = base_prompt.clone();
         let mut last_err = None;
+        let tel = self.executor.telemetry.clone();
+        let meter_before = self.planner_client.stats();
+        let started = std::time::Instant::now();
+        // Records the planning session as one span: LLM spend, re-plan
+        // attempts, and whether a valid plan came out.
+        let record = |replans: u32, outcome: &str, plan_nodes: usize| {
+            if !tel.is_enabled() {
+                return;
+            }
+            let delta = self.planner_client.stats().since(&meter_before);
+            let mut span = tel.span("plan", "planner");
+            span.note(format!("question={question}"));
+            span.note(format!("outcome={outcome}"));
+            span.set("llm_calls", delta.calls)
+                .set("retries", delta.retries)
+                .set("replans", replans as u64)
+                .set("plan_nodes", plan_nodes as u64)
+                .set("llm_input_tokens", delta.usage.input_tokens as u64)
+                .set("llm_output_tokens", delta.usage.output_tokens as u64)
+                .gauge("wall_ms", started.elapsed().as_secs_f64() * 1e3)
+                .gauge("llm_cost_usd", delta.usage.cost_usd);
+            span.finish();
+        };
         for attempt in 0..=self.max_replan {
             let v = match self.planner_client.generate_json(&prompt, 2048) {
                 Ok(v) => v,
@@ -132,7 +161,11 @@ impl Luna {
                 p.validate()?;
                 Ok(p)
             }) {
-                Ok(plan) => return Ok(plan),
+                Ok(plan) => {
+                    let nodes = plan.topo_order().map(|o| o.len()).unwrap_or(0);
+                    record(attempt, "ok", nodes);
+                    return Ok(plan);
+                }
                 Err(e) => {
                     // Re-prompt with feedback: a fresh prompt also resamples
                     // the model's output, as re-asking a real LLM would.
@@ -143,12 +176,28 @@ impl Luna {
                 }
             }
         }
+        record(self.max_replan, "failed", 0);
         Err(last_err.unwrap_or_else(|| ArynError::Plan("planning failed".into())))
     }
 
-    /// Optimizes a plan, returning the rewritten plan and notes.
+    /// Optimizes a plan, returning the rewritten plan and notes. Each
+    /// optimizer decision (e.g. rewriting a semantic LLM filter into a
+    /// structured string match) is recorded as a span note.
     pub fn optimize(&self, plan: &Plan) -> Optimized {
-        optimize(plan, &self.schemas, &self.optimizer)
+        let optimized = optimize(plan, &self.schemas, &self.optimizer);
+        let tel = &self.executor.telemetry;
+        if tel.is_enabled() {
+            let mut span = tel.span("optimize", "optimizer");
+            span.set("rewrites", optimized.notes.len() as u64).set(
+                "plan_nodes",
+                optimized.plan.topo_order().map(|o| o.len()).unwrap_or(0) as u64,
+            );
+            for note in &optimized.notes {
+                span.note(note.clone());
+            }
+            span.finish();
+        }
+        optimized
     }
 
     /// Executes a (validated) plan with tracing.
@@ -156,17 +205,27 @@ impl Luna {
         self.executor.execute(plan)
     }
 
-    /// The full path: plan → optimize → execute.
+    /// The full path: plan → optimize → execute. The answer carries the
+    /// telemetry spans recorded while serving this question (planner,
+    /// optimizer, per-operator, and any engine stage spans).
     pub fn ask(&self, question: &str) -> Result<LunaAnswer> {
+        let tel = self.executor.telemetry.clone();
+        let mark = tel.span_count();
         let plan = self.plan(question)?;
         let optimized = self.optimize(&plan);
         let result = self.execute(&optimized.plan)?;
+        let snapshot = tel.snapshot();
+        let trace = Trace {
+            label: snapshot.label.clone(),
+            spans: snapshot.spans.into_iter().skip(mark).collect(),
+        };
         Ok(LunaAnswer {
             question: question.to_string(),
             plan,
             optimized_plan: optimized.plan,
             optimizer_notes: optimized.notes,
             result,
+            trace,
         })
     }
 
@@ -199,6 +258,8 @@ pub struct LunaAnswer {
     pub optimized_plan: Plan,
     pub optimizer_notes: Vec<String>,
     pub result: LunaResult,
+    /// Telemetry spans recorded while serving this question.
+    pub trace: Trace,
 }
 
 impl LunaAnswer {
@@ -224,6 +285,53 @@ impl LunaAnswer {
             },
             self.result.render_trace()
         )
+    }
+
+    /// An `EXPLAIN ANALYZE`-style rendering: per-operator row counts, wall
+    /// times, LLM calls/tokens/retries and cost, followed by the planner and
+    /// optimizer spans and the trace fingerprint — the paper's §6
+    /// traceability surface for one answered question.
+    pub fn explain_analyze(&self) -> String {
+        let mut out = format!("EXPLAIN ANALYZE {:?}\n", self.question);
+        for t in &self.result.traces {
+            out.push_str(&format!(
+                "out_{} [{}] {}\n  rows: {} -> {}  wall: {:.2} ms\n",
+                t.node_id, t.op_kind, t.description, t.rows_in, t.rows_out, t.wall_ms
+            ));
+            if t.llm_calls > 0 {
+                out.push_str(&format!(
+                    "  llm: {} calls  {} in / {} out tokens  {} retries  ${:.4}\n",
+                    t.llm_calls, t.input_tokens, t.output_tokens, t.retries, t.cost_usd
+                ));
+            }
+        }
+        if let Some(p) = self.trace.spans_of_kind("planner").first() {
+            out.push_str(&format!(
+                "planner: {} llm calls  {} replans  {} retries\n",
+                p.counter("llm_calls"),
+                p.counter("replans"),
+                p.counter("retries")
+            ));
+        }
+        if let Some(o) = self.trace.spans_of_kind("optimizer").first() {
+            out.push_str(&format!("optimizer: {} rewrites\n", o.counter("rewrites")));
+            for note in &o.notes {
+                out.push_str(&format!("  - {note}\n"));
+            }
+        }
+        let stages = self.trace.spans_of_kind("stage");
+        if !stages.is_empty() {
+            out.push_str(&format!("engine stages: {}\n", stages.len()));
+        }
+        out.push_str(&format!(
+            "totals: {} llm calls  {} tokens  {} retries  ${:.4}  fingerprint {:016x}\n",
+            self.result.total_llm_calls(),
+            self.result.total_tokens(),
+            self.result.total_retries(),
+            self.result.total_cost(),
+            self.trace.fingerprint()
+        ));
+        out
     }
 }
 

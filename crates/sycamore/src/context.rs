@@ -8,6 +8,7 @@ use aryn_docgen::layout::RawDocument;
 use aryn_docgen::Corpus;
 use aryn_index::{Catalog, DocStore, HnswIndex, KeywordIndex, VectorIndex};
 use aryn_llm::{EmbeddingModel, HashedBowEmbedder};
+use aryn_telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -56,6 +57,10 @@ pub(crate) struct ContextInner {
     pub materialized: RwLock<BTreeMap<String, Vec<Document>>>,
     pub embedder: Arc<dyn EmbeddingModel>,
     pub exec: ExecConfig,
+    /// Span collector shared by the executor, transforms, and the
+    /// partitioner; `with_exec` contexts share it so one trace covers a
+    /// whole ingest-plus-query session.
+    pub telemetry: Telemetry,
 }
 
 /// Shared handle to the Sycamore runtime state.
@@ -86,6 +91,7 @@ impl Context {
                 materialized: RwLock::new(BTreeMap::new()),
                 embedder,
                 exec: ExecConfig::default(),
+                telemetry: Telemetry::new("sycamore"),
             }),
         }
     }
@@ -105,12 +111,19 @@ impl Context {
                 materialized: RwLock::new(self.inner.materialized.read().clone()),
                 embedder: Arc::clone(&self.inner.embedder),
                 exec,
+                telemetry: self.inner.telemetry.clone(),
             }),
         }
     }
 
     pub fn exec_config(&self) -> ExecConfig {
         self.inner.exec
+    }
+
+    /// The context's span collector. Clone it to record from transforms or
+    /// hand it to the partitioner; call `.snapshot()`/`.take()` for export.
+    pub fn telemetry(&self) -> Telemetry {
+        self.inner.telemetry.clone()
     }
 
     pub fn embedder(&self) -> Arc<dyn EmbeddingModel> {

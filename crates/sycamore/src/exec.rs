@@ -11,10 +11,70 @@ use crate::op::Op;
 use crate::stats::{ExecStats, StageStats};
 use crate::transforms;
 use aryn_core::{stable_hash, ArynError, Document, Result};
+use aryn_llm::UsageStats;
+use aryn_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Combined meter snapshot of every LLM client held by `ops`, deduplicated
+/// by meter identity (a fused stage may share one meter across several ops).
+/// Taken before and after a stage, the difference attributes LLM calls,
+/// tokens, retries, and cost to that stage.
+fn llm_snapshot(ops: &[Op]) -> UsageStats {
+    let mut seen: Vec<*const aryn_llm::UsageMeter> = Vec::new();
+    let mut total = UsageStats::default();
+    for op in ops {
+        for client in op.clients() {
+            let meter = client.meter();
+            let ptr = Arc::as_ptr(&meter);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                total.merge(&meter.snapshot());
+            }
+        }
+    }
+    total
+}
+
+/// Records one executed stage into the context's trace. Deterministic facts
+/// (row counts, retries, LLM counters) go into span counters, which feed the
+/// trace fingerprint; wall times, costs, and per-worker utilization (racy
+/// under work stealing) go into gauges, which the fingerprint excludes.
+fn record_stage_span(
+    tel: &Telemetry,
+    stage: &StageStats,
+    delta: &UsageStats,
+    worker_docs: Option<&[usize]>,
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let mut span = tel.span(&stage.name, "stage");
+    span.set("rows_in", stage.rows_in as u64)
+        .set("rows_out", stage.rows_out as u64)
+        .set("retries", stage.retries as u64)
+        .set("failed_docs", stage.failed_docs as u64)
+        .set("llm_calls", stage.llm_calls)
+        .set("llm_input_tokens", stage.llm_input_tokens)
+        .set("llm_output_tokens", stage.llm_output_tokens)
+        .set("llm_parse_repairs", delta.parse_repairs)
+        .set("llm_parse_failures", delta.parse_failures);
+    if stage.cache_hit {
+        span.set("cache_hit", 1);
+    }
+    span.gauge("wall_ms", stage.wall_ms)
+        .gauge("llm_cost_usd", stage.llm_cost_usd);
+    if let Some(workers) = worker_docs {
+        span.gauge("workers", workers.len() as f64);
+        for (w, n) in workers.iter().enumerate() {
+            span.gauge(&format!("worker_{w}_docs"), *n as f64);
+        }
+    }
+    span.finish();
+}
 
 /// Executes a plan, returning the output documents and per-stage stats.
 ///
@@ -25,6 +85,7 @@ use std::time::Instant;
 /// execution" behaviour (§5.3). Caches are named and user-managed; change
 /// the name (or a fresh Context) to force recomputation.
 pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Document>, ExecStats)> {
+    let tel = ctx.telemetry();
     let mut stats = ExecStats::default();
     // Find the last cached materialize checkpoint, if any.
     let mut resume_at: Option<(usize, Vec<Document>)> = None;
@@ -37,31 +98,45 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
     }
     let (mut docs, mut i) = match resume_at {
         Some((idx, cached)) => {
-            stats.stages.push(StageStats {
+            let stage = StageStats {
                 name: format!("{} [cache hit]", ops[idx].name()),
                 rows_in: cached.len(),
                 rows_out: cached.len(),
-                wall_ms: 0.0,
-                retries: 0,
-                failed_docs: 0,
-            });
+                cache_hit: true,
+                ..StageStats::default()
+            };
+            record_stage_span(&tel, &stage, &UsageStats::default(), None);
+            stats.stages.push(stage);
             (cached, idx + 1)
         }
         None => (resolve_source(ctx, source)?, 0),
     };
     while i < ops.len() {
         if ops[i].is_barrier() {
+            let op_slice = std::slice::from_ref(&ops[i]);
+            let before = llm_snapshot(op_slice);
             let start = Instant::now();
             let rows_in = docs.len();
             docs = apply_barrier(ctx, &ops[i], docs)?;
-            stats.stages.push(StageStats {
+            let delta = llm_snapshot(op_slice).since(&before);
+            let stage = StageStats {
                 name: ops[i].name(),
                 rows_in,
                 rows_out: docs.len(),
                 wall_ms: start.elapsed().as_secs_f64() * 1000.0,
-                retries: 0,
+                // A barrier has no per-doc worker retries, but its inner LLM
+                // work (e.g. summarize_all's hierarchical batches) can retry;
+                // the meter delta is the real count.
+                retries: delta.retries as usize,
                 failed_docs: 0,
-            });
+                llm_calls: delta.calls,
+                llm_input_tokens: delta.usage.input_tokens as u64,
+                llm_output_tokens: delta.usage.output_tokens as u64,
+                llm_cost_usd: delta.usage.cost_usd,
+                cache_hit: false,
+            };
+            record_stage_span(&tel, &stage, &delta, None);
+            stats.stages.push(stage);
             i += 1;
         } else {
             // Fuse the maximal per-doc run.
@@ -70,11 +145,13 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 j += 1;
             }
             let segment = &ops[i..j];
+            let before = llm_snapshot(segment);
             let start = Instant::now();
             let rows_in = docs.len();
-            let (out, retries, failed) = run_segment(ctx, segment, docs)?;
-            docs = out;
-            stats.stages.push(StageStats {
+            let outcome = run_segment(ctx, segment, docs)?;
+            docs = outcome.docs;
+            let delta = llm_snapshot(segment).since(&before);
+            let stage = StageStats {
                 name: segment
                     .iter()
                     .map(Op::name)
@@ -83,9 +160,16 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 rows_in,
                 rows_out: docs.len(),
                 wall_ms: start.elapsed().as_secs_f64() * 1000.0,
-                retries,
-                failed_docs: failed,
-            });
+                retries: outcome.retries,
+                failed_docs: outcome.failed,
+                llm_calls: delta.calls,
+                llm_input_tokens: delta.usage.input_tokens as u64,
+                llm_output_tokens: delta.usage.output_tokens as u64,
+                llm_cost_usd: delta.usage.cost_usd,
+                cache_hit: false,
+            };
+            record_stage_span(&tel, &stage, &delta, Some(&outcome.worker_docs));
+            stats.stages.push(stage);
             i = j;
         }
     }
@@ -122,13 +206,19 @@ fn resolve_source(ctx: &Context, source: &Source) -> Result<Vec<Document>> {
     }
 }
 
-/// Applies a fused run of per-doc ops over all documents, in parallel when
-/// configured. Returns `(docs, retries, failed_docs)`.
-fn run_segment(
-    ctx: &Context,
-    segment: &[Op],
+/// What one fused per-doc stage produced.
+struct SegmentOutcome {
     docs: Vec<Document>,
-) -> Result<(Vec<Document>, usize, usize)> {
+    retries: usize,
+    failed: usize,
+    /// Documents processed per worker (length = pool size). Attribution is
+    /// scheduling-dependent under work stealing, so this feeds gauges only.
+    worker_docs: Vec<usize>,
+}
+
+/// Applies a fused run of per-doc ops over all documents, in parallel when
+/// configured.
+fn run_segment(ctx: &Context, segment: &[Op], docs: Vec<Document>) -> Result<SegmentOutcome> {
     let cfg = ctx.exec_config();
     if cfg.threads <= 1 {
         run_segment_sequential(ctx, segment, docs)
@@ -200,13 +290,14 @@ fn run_segment_sequential(
     ctx: &Context,
     segment: &[Op],
     docs: Vec<Document>,
-) -> Result<(Vec<Document>, usize, usize)> {
+) -> Result<SegmentOutcome> {
     let cfg = ctx.exec_config();
     let tag = segment
         .iter()
         .map(Op::name)
         .collect::<Vec<_>>()
         .join(",");
+    let n = docs.len();
     let mut out = Vec::with_capacity(docs.len());
     let mut retries = 0;
     let mut failed = 0;
@@ -225,7 +316,12 @@ fn run_segment_sequential(
             }
         }
     }
-    Ok((out, retries, failed))
+    Ok(SegmentOutcome {
+        docs: out,
+        retries,
+        failed,
+        worker_docs: vec![n],
+    })
 }
 
 /// Work item in the parallel pool.
@@ -238,7 +334,7 @@ fn run_segment_parallel(
     ctx: &Context,
     segment: &[Op],
     docs: Vec<Document>,
-) -> Result<(Vec<Document>, usize, usize)> {
+) -> Result<SegmentOutcome> {
     let cfg = ctx.exec_config();
     let tag = segment
         .iter()
@@ -254,17 +350,25 @@ fn run_segment_parallel(
     );
     let done = AtomicUsize::new(0);
     let retries_total = AtomicUsize::new(0);
+    let worker_counts: Vec<AtomicUsize> = (0..cfg.threads).map(|_| AtomicUsize::new(0)).collect();
     // Slot per input document: output docs or terminal error.
     let results: Mutex<Vec<Option<Result<Vec<Document>>>>> = Mutex::new((0..n).map(|_| None).collect());
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..cfg.threads {
-            scope.spawn(|_| loop {
+        for w in 0..cfg.threads {
+            let queue = &queue;
+            let results = &results;
+            let done = &done;
+            let retries_total = &retries_total;
+            let worker_counts = &worker_counts;
+            let tag = &tag;
+            scope.spawn(move |_| loop {
                 let task = queue.lock().pop_front();
                 match task {
                     Some(Task { index, doc }) => {
-                        let (res, r) = process_doc(ctx, segment, &tag, doc);
+                        let (res, r) = process_doc(ctx, segment, tag, doc);
                         retries_total.fetch_add(r, Ordering::Relaxed);
+                        worker_counts[w].fetch_add(1, Ordering::Relaxed);
                         results.lock()[index] = Some(res);
                         done.fetch_add(1, Ordering::Release);
                     }
@@ -294,7 +398,12 @@ fn run_segment_parallel(
             }
         }
     }
-    Ok((out, retries_total.into_inner(), failed))
+    Ok(SegmentOutcome {
+        docs: out,
+        retries: retries_total.into_inner(),
+        failed,
+        worker_docs: worker_counts.into_iter().map(AtomicUsize::into_inner).collect(),
+    })
 }
 
 fn apply_barrier(ctx: &Context, op: &Op, docs: Vec<Document>) -> Result<Vec<Document>> {

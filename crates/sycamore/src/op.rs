@@ -210,6 +210,22 @@ impl Op {
         }
     }
 
+    /// The LLM clients this op holds, if any. Stats collection snapshots
+    /// their meters around a stage to attribute calls/tokens/retries to it.
+    pub fn clients(&self) -> Vec<&LlmClient> {
+        match self {
+            Op::LlmQuery { client, .. }
+            | Op::ExtractProperties { client, .. }
+            | Op::LlmFilter { client, .. }
+            | Op::LlmClassify { client, .. }
+            | Op::SummarizeSections { client }
+            | Op::Summarize { client, .. }
+            | Op::SummarizeAll { client, .. } => vec![client],
+            Op::Partition { cfg, .. } => cfg.summarize_images.iter().collect(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Barrier ops need the whole collection at once.
     pub fn is_barrier(&self) -> bool {
         matches!(

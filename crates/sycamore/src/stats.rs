@@ -1,7 +1,10 @@
-//! Execution statistics: per-stage row counts, retries, wall time.
+//! Execution statistics: per-stage row counts, retries, LLM usage, wall time.
 //!
 //! Stats back Luna's traceability story: every executed plan can report
-//! "how the dataset was transformed during each operation" (§6).
+//! "how the dataset was transformed during each operation" (§6). The LLM
+//! fields are filled from per-stage [`aryn_llm::UsageMeter`] snapshots, so a
+//! stage's calls/tokens/cost are attributed to it even when several stages
+//! share a client.
 
 /// Counters for one executed stage (one op, or one fused per-doc chain).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -14,6 +17,17 @@ pub struct StageStats {
     pub retries: usize,
     /// Documents dropped because an op failed permanently on them.
     pub failed_docs: usize,
+    /// LLM completions issued while this stage ran.
+    pub llm_calls: u64,
+    /// Prompt tokens across those completions.
+    pub llm_input_tokens: u64,
+    /// Completion tokens across those completions.
+    pub llm_output_tokens: u64,
+    /// Simulated dollar cost of those completions.
+    pub llm_cost_usd: f64,
+    /// True if this stage was served from a materialize cache instead of
+    /// being recomputed.
+    pub cache_hit: bool,
 }
 
 /// Statistics for one pipeline execution.
@@ -35,13 +49,36 @@ impl ExecStats {
         self.stages.iter().map(|s| s.wall_ms).sum()
     }
 
+    pub fn total_llm_calls(&self) -> u64 {
+        self.stages.iter().map(|s| s.llm_calls).sum()
+    }
+
+    pub fn total_llm_tokens(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.llm_input_tokens + s.llm_output_tokens)
+            .sum()
+    }
+
+    pub fn total_llm_cost_usd(&self) -> f64 {
+        self.stages.iter().map(|s| s.llm_cost_usd).sum()
+    }
+
     /// Renders a compact table for traces and debugging.
     pub fn render(&self) -> String {
-        let mut out = String::from("stage                          rows_in  rows_out  retries  failed\n");
+        let mut out = String::from(
+            "stage                          rows_in  rows_out  retries  failed  llm_calls    tokens\n",
+        );
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<30} {:>7}  {:>8}  {:>7}  {:>6}\n",
-                s.name, s.rows_in, s.rows_out, s.retries, s.failed_docs
+                "{:<30} {:>7}  {:>8}  {:>7}  {:>6}  {:>9}  {:>8}\n",
+                s.name,
+                s.rows_in,
+                s.rows_out,
+                s.retries,
+                s.failed_docs,
+                s.llm_calls,
+                s.llm_input_tokens + s.llm_output_tokens
             ));
         }
         out
@@ -63,6 +100,11 @@ mod tests {
                     wall_ms: 1.5,
                     retries: 2,
                     failed_docs: 1,
+                    llm_calls: 10,
+                    llm_input_tokens: 500,
+                    llm_output_tokens: 50,
+                    llm_cost_usd: 0.02,
+                    cache_hit: false,
                 },
                 StageStats {
                     name: "count".into(),
@@ -76,8 +118,12 @@ mod tests {
         assert_eq!(stats.total_retries(), 2);
         assert_eq!(stats.total_failed_docs(), 1);
         assert!((stats.total_wall_ms() - 2.0).abs() < 1e-9);
+        assert_eq!(stats.total_llm_calls(), 10);
+        assert_eq!(stats.total_llm_tokens(), 550);
+        assert!((stats.total_llm_cost_usd() - 0.02).abs() < 1e-12);
         let r = stats.render();
         assert!(r.contains("filter(x)"));
+        assert!(r.contains("550"));
         assert!(r.lines().count() >= 3);
     }
 }

@@ -100,6 +100,7 @@ fn partition(ctx: &Context, lake: &str, cfg: &PartitionCfg, doc: Document) -> Re
         use_ocr: cfg.use_ocr,
         summarize_images: cfg.summarize_images.clone(),
         seed: cfg.seed,
+        telemetry: ctx.telemetry(),
     });
     let mut out = p.partition(doc.id.as_str(), &raw);
     // Carry over upstream properties and lineage.

@@ -6,7 +6,9 @@
 //!   cargo run --example luna_repl -- "How many ..."  # one-shot question(s)
 //!
 //! Inside the loop, prefix a question with `explain ` to see the plan, the
-//! generated code, the optimizer notes, and the per-operator trace.
+//! generated code, the optimizer notes, and the per-operator trace — or with
+//! `analyze ` for the EXPLAIN ANALYZE telemetry view (per-operator rows/LLM
+//! spend, planner/optimizer spans, trace fingerprint).
 
 use aryn::prelude::*;
 use luna::{earnings_schema, ntsb_schema};
@@ -41,12 +43,14 @@ fn main() -> aryn_core::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if !args.is_empty() {
         for q in args {
-            run_question(&luna, &q, false)?;
+            run_question(&luna, &q, Mode::Answer)?;
         }
         return Ok(());
     }
 
-    eprintln!("ask questions (\"explain <question>\" for the full trace, ctrl-d to exit):");
+    eprintln!(
+        "ask questions (\"explain <q>\" for the full trace, \"analyze <q>\" for telemetry, ctrl-d to exit):"
+    );
     let stdin = std::io::stdin();
     loop {
         eprint!("luna> ");
@@ -62,11 +66,12 @@ fn main() -> aryn_core::Result<()> {
         if line == "quit" || line == "exit" {
             break;
         }
-        let (q, explain) = match line.strip_prefix("explain ") {
-            Some(rest) => (rest, true),
-            None => (line, false),
+        let (q, mode) = match (line.strip_prefix("explain "), line.strip_prefix("analyze ")) {
+            (Some(rest), _) => (rest, Mode::Explain),
+            (_, Some(rest)) => (rest, Mode::Analyze),
+            _ => (line, Mode::Answer),
         };
-        if let Err(e) = run_question(&luna, q, explain) {
+        if let Err(e) = run_question(&luna, q, mode) {
             eprintln!("error: {e}");
         }
     }
@@ -74,13 +79,22 @@ fn main() -> aryn_core::Result<()> {
     Ok(())
 }
 
-fn run_question(luna: &Luna, question: &str, explain: bool) -> aryn_core::Result<()> {
+#[derive(Clone, Copy)]
+enum Mode {
+    Answer,
+    Explain,
+    Analyze,
+}
+
+fn run_question(luna: &Luna, question: &str, mode: Mode) -> aryn_core::Result<()> {
     let ans = luna.ask(question)?;
-    if explain {
-        println!("{}", ans.explain());
-    } else {
-        println!("Q: {question}");
-        println!("A: {}\n", ans.answer());
+    match mode {
+        Mode::Explain => println!("{}", ans.explain()),
+        Mode::Analyze => println!("{}", ans.explain_analyze()),
+        Mode::Answer => {
+            println!("Q: {question}");
+            println!("A: {}\n", ans.answer());
+        }
     }
     Ok(())
 }

@@ -1,0 +1,128 @@
+//! Invariants over execution statistics and telemetry counters: conservation
+//! laws that must hold for every run regardless of thread count or seed.
+
+use aryn::prelude::*;
+use aryn_core::Document;
+use std::sync::Arc;
+use sycamore::ExecStats;
+
+/// partition → extract → embed: no stage filters or fans out, so row counts
+/// must be conserved end to end.
+fn conserving_pipeline(
+    threads: usize,
+    fail_rate: f64,
+    max_retries: u32,
+    skip_failures: bool,
+) -> (Context, Vec<Document>, ExecStats) {
+    let ctx = Context::new().with_exec(ExecConfig {
+        threads,
+        fail_rate,
+        max_retries,
+        skip_failures,
+        seed: 42,
+    });
+    let corpus = Corpus::ntsb(9, 12);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(9))));
+    let (docs, stats) = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .partition("ntsb", PartitionCfg::default())
+        .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+        .embed()
+        .collect_stats()
+        .unwrap();
+    (ctx, docs, stats)
+}
+
+#[test]
+fn non_filtering_stages_conserve_rows() {
+    let (_ctx, docs, stats) = conserving_pipeline(4, 0.0, 3, false);
+    assert_eq!(docs.len(), 12);
+    for s in &stats.stages {
+        assert_eq!(
+            s.rows_out, s.rows_in,
+            "stage {} must conserve rows: {} in, {} out",
+            s.name, s.rows_in, s.rows_out
+        );
+    }
+}
+
+#[test]
+fn zero_fail_rate_means_zero_retries() {
+    let (_ctx, _docs, stats) = conserving_pipeline(8, 0.0, 3, false);
+    assert_eq!(stats.total_retries(), 0, "{}", stats.render());
+    for s in &stats.stages {
+        assert_eq!(s.retries, 0, "stage {} retried without failures", s.name);
+        assert_eq!(s.failed_docs, 0);
+    }
+}
+
+#[test]
+fn generous_retries_absorb_every_injected_failure() {
+    let (_ctx, docs, stats) = conserving_pipeline(4, 0.3, 16, true);
+    assert!(stats.total_retries() > 0, "failures must have been injected");
+    assert_eq!(
+        stats.total_failed_docs(),
+        0,
+        "16 retries at fail_rate=0.3 must absorb everything: {}",
+        stats.render()
+    );
+    assert_eq!(docs.len(), 12, "no documents lost");
+}
+
+#[test]
+fn llm_usage_is_attributed_to_the_stage_that_spent_it() {
+    let (_ctx, _docs, stats) = conserving_pipeline(1, 0.0, 3, false);
+    let extract = stats
+        .stages
+        .iter()
+        .find(|s| s.name.contains("extract_properties"))
+        .expect("extract stage present");
+    assert!(extract.llm_calls >= 12, "one call per doc: {}", extract.llm_calls);
+    assert!(extract.llm_input_tokens > 0);
+    assert!(extract.llm_output_tokens > 0);
+    assert!(extract.llm_cost_usd > 0.0);
+    // Stages with no LLM op spend nothing.
+    for s in stats.stages.iter().filter(|s| !s.name.contains("extract")) {
+        assert_eq!(s.llm_calls, 0, "stage {} attributed stray LLM calls", s.name);
+    }
+    assert_eq!(stats.total_llm_calls(), extract.llm_calls);
+}
+
+#[test]
+fn telemetry_mirrors_exec_stats() {
+    let (ctx, _docs, stats) = conserving_pipeline(4, 0.2, 16, true);
+    let trace = ctx.telemetry().snapshot();
+    assert!(!trace.spans.is_empty());
+    assert_eq!(trace.total_for_kind("stage", "rows_in") as usize,
+        stats.stages.iter().map(|s| s.rows_in).sum::<usize>());
+    assert_eq!(trace.total_for_kind("stage", "rows_out") as usize,
+        stats.stages.iter().map(|s| s.rows_out).sum::<usize>());
+    assert_eq!(trace.total_for_kind("stage", "retries") as usize, stats.total_retries());
+    assert_eq!(trace.total_for_kind("stage", "failed_docs") as usize, stats.total_failed_docs());
+    assert_eq!(trace.total_for_kind("stage", "llm_calls"), stats.total_llm_calls());
+    assert_eq!(
+        trace.total_for_kind("stage", "llm_input_tokens")
+            + trace.total_for_kind("stage", "llm_output_tokens"),
+        stats.total_llm_tokens()
+    );
+    // The partitioner contributed its own spans under the same collector.
+    assert!(!trace.spans_of_kind("partitioner").is_empty());
+}
+
+#[test]
+fn telemetry_totals_are_seed_deterministic() {
+    // Two identical runs — and a run at a different thread count — must
+    // fingerprint identically: deterministic facts live in counters, timing
+    // and scheduling live in gauges, and only counters are fingerprinted.
+    let fp = |threads: usize| {
+        let (ctx, _docs, _stats) = conserving_pipeline(threads, 0.2, 16, true);
+        ctx.telemetry().snapshot().fingerprint()
+    };
+    let a = fp(4);
+    let b = fp(4);
+    let c = fp(1);
+    assert_eq!(a, b, "same-seed runs must produce identical telemetry totals");
+    assert_eq!(a, c, "thread count must not leak into fingerprinted counters");
+}

@@ -1,0 +1,133 @@
+//! Acceptance test for the telemetry subsystem: every `Luna::ask` and every
+//! `collect_stats` run yields a JSON-exportable trace whose spans are
+//! non-empty, internally consistent with the execution stats, and
+//! deterministic per seed (paper §6: full traceability of each answer).
+
+use aryn::prelude::*;
+use aryn_core::Value;
+use std::sync::Arc;
+
+fn build_luna(seed: u64) -> Luna {
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(seed, 16);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+    ingest_lake(&ctx, "ntsb", "ntsb", &client, luna::ntsb_schema(), Detector::DetrSim).unwrap();
+    Luna::new(
+        ctx,
+        &["ntsb"],
+        LunaConfig {
+            sim: SimConfig::with_seed(seed),
+            ..LunaConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn every_answer_carries_a_consistent_trace() {
+    let luna = build_luna(41);
+    let ans = luna
+        .ask("How many incidents were caused by environmental factors?")
+        .unwrap();
+
+    let trace = &ans.trace;
+    assert!(!trace.spans.is_empty(), "ask() must record spans");
+    // The three layers all reported in: planner, optimizer, operators.
+    assert!(!trace.spans_of_kind("planner").is_empty());
+    assert!(!trace.spans_of_kind("optimizer").is_empty());
+    let operators = trace.spans_of_kind("operator");
+    assert_eq!(
+        operators.len(),
+        ans.result.traces.len(),
+        "one operator span per executed plan node"
+    );
+
+    // Span counters must agree with the executor's own NodeTrace bookkeeping.
+    assert_eq!(
+        trace.total_for_kind("operator", "llm_calls"),
+        ans.result.total_llm_calls()
+    );
+    assert_eq!(
+        trace.total_for_kind("operator", "llm_input_tokens")
+            + trace.total_for_kind("operator", "llm_output_tokens"),
+        ans.result.total_tokens()
+    );
+    assert_eq!(
+        trace.total_for_kind("operator", "retries"),
+        ans.result.total_retries()
+    );
+    for (span, nt) in operators.iter().zip(&ans.result.traces) {
+        assert_eq!(span.counter("rows_in"), nt.rows_in as u64);
+        assert_eq!(span.counter("rows_out"), nt.rows_out as u64);
+        assert_eq!(span.counter("llm_calls"), nt.llm_calls);
+    }
+}
+
+#[test]
+fn traces_are_json_exportable() {
+    let luna = build_luna(42);
+    let ans = luna.ask("How many incidents happened in Alaska?").unwrap();
+    let json = ans.trace.to_json();
+    let parsed = aryn_core::json::parse(&json).expect("trace JSON must parse");
+    let spans = parsed.get("spans").and_then(Value::as_array).unwrap();
+    assert_eq!(spans.len(), ans.trace.spans.len());
+    for s in spans {
+        assert!(s.get("name").and_then(Value::as_str).is_some());
+        assert!(s.get("kind").and_then(Value::as_str).is_some());
+    }
+    assert!(
+        parsed.get("fingerprint").is_some(),
+        "export embeds the deterministic fingerprint"
+    );
+}
+
+#[test]
+fn traces_are_deterministic_per_seed() {
+    let run = || {
+        let luna = build_luna(43);
+        let ans = luna
+            .ask("How many incidents were weather related?")
+            .unwrap();
+        (ans.trace.fingerprint(), ans.answer().to_string())
+    };
+    let (fp_a, ans_a) = run();
+    let (fp_b, ans_b) = run();
+    assert_eq!(ans_a, ans_b);
+    assert_eq!(fp_a, fp_b, "same seed must fingerprint identically");
+}
+
+#[test]
+fn explain_analyze_renders_the_full_story() {
+    let luna = build_luna(44);
+    let ans = luna
+        .ask("How many incidents were caused by environmental factors?")
+        .unwrap();
+    let report = ans.explain_analyze();
+    for needle in ["EXPLAIN ANALYZE", "rows:", "planner", "fingerprint"] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+    // Every executed node appears by id.
+    for t in &ans.result.traces {
+        assert!(
+            report.contains(&format!("out_{}", t.node_id)),
+            "node out_{} missing from explain_analyze",
+            t.node_id
+        );
+    }
+}
+
+#[test]
+fn ingest_records_partitioner_spans() {
+    let luna = build_luna(45);
+    // The shared collector kept the ingest-time spans: partitioner timings
+    // and engine stage spans live alongside question-time spans.
+    let full = luna.telemetry().snapshot();
+    let parts = full.spans_of_kind("partitioner");
+    assert_eq!(parts.len(), 16, "one partition_doc span per ingested doc");
+    for p in &parts {
+        assert!(p.counter("elements") > 0);
+        assert!(p.gauge("detect_ms") >= 0.0);
+    }
+    assert!(!full.spans_of_kind("stage").is_empty(), "engine stages recorded");
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in-tree; std has had scoped
+//! threads since 1.63, so this shim adapts `std::thread::scope` to the
+//! crossbeam calling convention (spawn closures take the scope as an
+//! argument; worker panics surface as an `Err` instead of unwinding).
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Wrapper handing the std scope around in crossbeam's shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. A panicking worker yields `Err(payload)` (crossbeam
+    /// semantics) rather than resuming the unwind (std semantics).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share() {
+        let n = AtomicUsize::new(0);
+        let r = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            }
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_an_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot fetch crates, so this vendored crate
+//! implements the proptest 1.x subset the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_filter_map`, `prop_recursive`, and `boxed`;
+//! * strategies for numeric ranges, tuples, [`Just`], `any::<T>()`, regex-ish
+//!   string patterns (`"[a-z ]{1,16}"`), `prop::collection::{vec,
+//!   btree_map}`, `prop::option::of`, and `prop::num::f64::NORMAL`;
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, and `prop_assume!` macros;
+//! * [`config::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (no persistence files, regressions files are ignored) and
+//! there is **no shrinking** — a failing case reports the generated inputs
+//! as-is. That trades debuggability for zero dependencies; determinism means
+//! a failure always reproduces.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod config {
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias toward boundary values the way proptest does.
+                    match rng.rng().gen_range(0u32..20) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.rng().gen::<$t>(),
+                    }
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+
+    /// `any::<T>()` — the full-range strategy for `T`.
+    pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+        BoxedStrategy::new(|rng| T::arbitrary(rng))
+    }
+
+    // Keep Strategy import used (macro bodies reference it indirectly).
+    #[allow(unused)]
+    fn _assert_strategy(s: BoxedStrategy<bool>, rng: &mut TestRng) -> bool {
+        s.generate(rng)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = rng.rng().gen_range(size.lo..=size.hi.max(size.lo));
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+
+    /// `BTreeMap` with up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K, V>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy + 'static,
+        V: Strategy + 'static,
+        K::Value: Ord + 'static,
+        V::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let n = rng.rng().gen_range(size.lo..=size.hi.max(size.lo));
+            (0..n)
+                .map(|_| (keys.generate(rng), values.generate(rng)))
+                .collect()
+        })
+    }
+}
+
+pub mod option {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use rand::Rng;
+
+    /// `None` or `Some(inner)`, 50/50 like upstream's default probability.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            if rng.rng().gen::<bool>() {
+                Some(inner.generate(rng))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Normal (non-zero, non-subnormal, finite) `f64` values of either
+        /// sign across the full exponent range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalStrategy;
+
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.rng().gen::<u64>());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines deterministic randomized tests; see crate docs for divergences
+/// from upstream (`cases` honoured, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::config::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg: $crate::config::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __ran: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __ran < __cfg.cases {
+                    __attempts += 1;
+                    if __attempts > __cfg.cases.saturating_mul(16).max(1024) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted of {} attempts)",
+                            stringify!($name), __ran, __attempts
+                        );
+                    }
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let __value = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push(format!("{} = {:?}", stringify!($pat), __value));
+                        let $pat = __value;
+                    )+
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match __result {
+                        Ok(()) => { __ran += 1; }
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}\ninputs:\n  {}",
+                                stringify!($name), __ran, __msg, __inputs.join("\n  ")
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_eq failed: {:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_eq failed: {:?} != {:?}: {}", __a, __b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_ne failed: both {:?}", __a),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_ne failed: both {:?}: {}", __a, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

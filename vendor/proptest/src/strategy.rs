@@ -1,0 +1,509 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! numeric ranges, tuples, [`Just`], [`Union`] (behind `prop_oneof!`),
+//! [`BoxedStrategy`], and regex-lite string patterns for `&'static str`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Upstream proptest strategies produce shrinkable value *trees*; this shim
+/// produces plain values (no shrinking), which keeps the combinator surface
+/// identical while staying dependency-free.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)))
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let s = self;
+        let whence = whence.into();
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..1000 {
+                let v = s.generate(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({whence}): no accepted value in 1000 draws")
+        })
+    }
+
+    fn prop_filter_map<O, F>(self, whence: impl Into<String>, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: Debug + 'static,
+        F: Fn(Self::Value) -> Option<O> + 'static,
+    {
+        let s = self;
+        let whence = whence.into();
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..1000 {
+                if let Some(v) = f(s.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map({whence}): no accepted value in 1000 draws")
+        })
+    }
+
+    /// Recursive strategies: `self` is the leaf; `recurse` builds one level
+    /// on top of the strategy for the level below. `depth` bounds nesting;
+    /// `_desired_size`/`_expected_branch_size` are accepted for source
+    /// compatibility but unused (no size-driven shrinking here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(cur.clone()).boxed();
+            let fallback = leaf.clone();
+            cur = BoxedStrategy::new(move |rng| {
+                if rng.rng().gen_range(0u32..100) < 70 {
+                    branch.generate(rng)
+                } else {
+                    fallback.generate(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    generator: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy {
+            generator: Rc::new(f),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generator: Rc::clone(&self.generator),
+        }
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generator)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.rng().gen_range(0..self.options.len());
+        self.options[ix].generate(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+/// String strategies from regex-ish patterns, e.g. `"[a-z ]{1,16}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+/// A regex-lite generator covering the subset of regex syntax proptest
+/// string strategies are used with in-tree: literals, `.`, character
+/// classes with ranges and escapes, and the `{m}`, `{m,n}`, `*`, `+`, `?`
+/// quantifiers. Anything fancier (alternation, groups, negated classes)
+/// panics loudly rather than silently generating the wrong language.
+mod pattern {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// `.` — any printable ASCII char.
+        Any,
+        /// Character class as inclusive ranges; a literal is a 1-char range.
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], i: &mut usize, pat: &str) -> Atom {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        if chars.get(*i) == Some(&'^') {
+            panic!("pattern {pat:?}: negated classes unsupported by vendored proptest");
+        }
+        loop {
+            let c = match chars.get(*i) {
+                Some(']') => {
+                    *i += 1;
+                    break;
+                }
+                Some('\\') => {
+                    *i += 1;
+                    let c = unescape(*chars.get(*i).unwrap_or_else(|| {
+                        panic!("pattern {pat:?}: trailing backslash in class")
+                    }));
+                    *i += 1;
+                    c
+                }
+                Some(&c) => {
+                    *i += 1;
+                    c
+                }
+                None => panic!("pattern {pat:?}: unterminated character class"),
+            };
+            // `a-z` range (but `-` right before `]` is a literal dash).
+            if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&n| n != ']') {
+                *i += 1;
+                let hi = match chars.get(*i) {
+                    Some('\\') => {
+                        *i += 1;
+                        let h = unescape(*chars.get(*i).unwrap_or_else(|| {
+                            panic!("pattern {pat:?}: trailing backslash in class")
+                        }));
+                        *i += 1;
+                        h
+                    }
+                    Some(&h) => {
+                        *i += 1;
+                        h
+                    }
+                    None => panic!("pattern {pat:?}: unterminated range in class"),
+                };
+                assert!(c <= hi, "pattern {pat:?}: inverted range {c}-{hi}");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(!ranges.is_empty(), "pattern {pat:?}: empty character class");
+        Atom::Class(ranges)
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pat: &str) -> (u32, u32) {
+        match chars.get(*i) {
+            Some('{') => {
+                *i += 1;
+                let mut lo = String::new();
+                while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                    lo.push(chars[*i]);
+                    *i += 1;
+                }
+                let lo: u32 = lo
+                    .parse()
+                    .unwrap_or_else(|_| panic!("pattern {pat:?}: bad {{}} quantifier"));
+                let hi = if chars.get(*i) == Some(&',') {
+                    *i += 1;
+                    let mut hi = String::new();
+                    while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                        hi.push(chars[*i]);
+                        *i += 1;
+                    }
+                    if hi.is_empty() {
+                        lo + 8 // open-ended {m,}
+                    } else {
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("pattern {pat:?}: bad {{}} quantifier"))
+                    }
+                } else {
+                    lo
+                };
+                assert_eq!(
+                    chars.get(*i),
+                    Some(&'}'),
+                    "pattern {pat:?}: unterminated {{}} quantifier"
+                );
+                *i += 1;
+                assert!(lo <= hi, "pattern {pat:?}: inverted {{}} quantifier");
+                (lo, hi)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pat: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    parse_class(&chars, &mut i, pat)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = unescape(
+                        *chars
+                            .get(i)
+                            .unwrap_or_else(|| panic!("pattern {pat:?}: trailing backslash")),
+                    );
+                    i += 1;
+                    Atom::Class(vec![(c, c)])
+                }
+                '(' | ')' | '|' => {
+                    panic!("pattern {pat:?}: groups/alternation unsupported by vendored proptest")
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c, c)])
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pat);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Any => char::from_u32(rng.rng().gen_range(32u32..=126)).unwrap(),
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                let mut k = rng.rng().gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if k < span {
+                        return char::from_u32(lo as u32 + k).unwrap();
+                    }
+                    k -= span;
+                }
+                unreachable!()
+            }
+        }
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pat) {
+            let n = rng.rng().gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed_u64(1);
+        for _ in 0..200 {
+            let v = (0i64..10, 1.0f64..2.0, 0usize..=3).generate(&mut rng);
+            assert!((0..10).contains(&v.0));
+            assert!((1.0..2.0).contains(&v.1));
+            assert!(v.2 <= 3);
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_seed_u64(2);
+        let s = (0u64..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("even-only stays even", |x| *x < 150);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 150);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_language() {
+        let mut rng = TestRng::from_seed_u64(3);
+        for _ in 0..100 {
+            let s = "[a-z ]{1,16}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+
+            let t = "[ -~]".generate(&mut rng);
+            assert_eq!(t.chars().count(), 1);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let u = "ab?c*".generate(&mut rng);
+            assert!(u.starts_with('a'));
+        }
+    }
+
+    #[test]
+    fn union_and_recursive_terminate() {
+        let mut rng = TestRng::from_seed_u64(4);
+        let leaf = (0i64..4).prop_map(|n| vec![n]);
+        let nested = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(mut a, b)| {
+                a.extend(b);
+                a
+            })
+        });
+        for _ in 0..50 {
+            let v = nested.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = crate::collection::vec(0u64..1000, 0..10usize);
+        let mut a = TestRng::from_seed_u64(9);
+        let mut b = TestRng::from_seed_u64(9);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

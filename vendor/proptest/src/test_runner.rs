@@ -1,0 +1,62 @@
+//! Deterministic RNG + case outcome types for the vendored proptest shim.
+
+use rand::{SeedableRng, StdRng};
+
+/// Random source for strategy generation. Seeded per test from the test's
+/// name so every run of a given test explores the same case sequence.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Stable per-test seed: FNV-1a over the test name.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        TestRng::from_seed_u64(h)
+    }
+
+    pub fn from_seed_u64(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying `rand` RNG, for strategies to draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Case discarded (`prop_assume!` failed); does not count toward `cases`.
+    Reject(String),
+    /// Assertion failed; the whole property test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
