@@ -13,6 +13,7 @@
 //! * [`LineageRecord`] — provenance for explainability.
 
 pub mod bbox;
+pub mod diag;
 pub mod document;
 pub mod error;
 pub mod ids;
@@ -25,6 +26,7 @@ pub mod text;
 pub mod value;
 
 pub use bbox::BBox;
+pub use diag::{Diagnostic, Severity};
 pub use document::{DocContent, DocNode, DocTree, Document, Element, ElementType, ImageInfo};
 pub use error::{ArynError, Result};
 pub use ids::{fnv1a, stable_hash, DocId, ElementId};

@@ -155,6 +155,28 @@ pub mod tasks {
             "",
         )
     }
+
+    /// Luna's plan-repair task: the planning params plus the analyzer
+    /// diagnostics the previous attempt triggered. Carrying the diagnostics
+    /// as a param (not trailing prose) keeps them visible to `parse_prompt`
+    /// and therefore to any registered planner engine.
+    pub fn plan_repair(
+        question: &str,
+        schema: &Value,
+        operators: &[&str],
+        diagnostics: &str,
+    ) -> String {
+        build_prompt(
+            TaskKind::Plan,
+            &obj! {
+                "question" => question,
+                "schema" => schema.clone(),
+                "operators" => operators.iter().map(|s| Value::from(*s)).collect::<Vec<_>>(),
+                "diagnostics" => diagnostics,
+            },
+            "",
+        )
+    }
 }
 
 #[cfg(test)]

@@ -246,6 +246,25 @@ impl Telemetry {
         }
     }
 
+    /// One-shot counter recording: a span holding only counters, skipping
+    /// the builder dance. Used for verdict/tally events like the plan
+    /// analyzer's per-severity and per-lint-code counts.
+    pub fn count(
+        &self,
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        counters: &[(&str, u64)],
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut span = self.span(name, kind);
+        for (k, v) in counters {
+            span.add(k, *v);
+        }
+        span.finish();
+    }
+
     /// Copy of the trace so far (the collector keeps recording).
     pub fn snapshot(&self) -> Trace {
         match &self.inner {
@@ -401,6 +420,22 @@ mod tests {
         b.add("n", 2);
         b.finish();
         assert_ne!(t1.snapshot().fingerprint(), t3.snapshot().fingerprint());
+    }
+
+    #[test]
+    fn count_records_a_counter_only_span() {
+        let tel = Telemetry::new("t");
+        tel.count("analyze:plan", "analyzer", &[("errors", 2), ("warnings", 1)]);
+        let trace = tel.snapshot();
+        assert_eq!(trace.spans.len(), 1);
+        let span = trace.span_named("analyze:plan").unwrap();
+        assert_eq!(span.kind, "analyzer");
+        assert_eq!(span.counter("errors"), 2);
+        assert_eq!(span.counter("warnings"), 1);
+        // A disabled handle records nothing.
+        let off = Telemetry::disabled();
+        off.count("x", "analyzer", &[("errors", 1)]);
+        assert_eq!(off.span_count(), 0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn main() {
                 i += 1;
                 continue;
             };
-            let optimized = aryn::luna::optimize(&plan, fixture.luna.schemas(), &v.cfg);
+            let optimized = aryn::luna::optimize(&plan, fixture.luna.schemas(), &v.cfg).unwrap();
             match fixture.luna.execute(&optimized.plan) {
                 Ok(result) => {
                     llm_calls += result.total_llm_calls();

@@ -2,6 +2,7 @@
 //! Figure 6 view — "The query execution code is easy for a technically savvy
 //! user to understand and modify" (§6.1).
 
+use crate::analyze::Analysis;
 use crate::ops::{Plan, PlanOp};
 use aryn_core::json;
 
@@ -100,6 +101,34 @@ pub fn to_python(plan: &Plan) -> String {
     out
 }
 
+/// Renders a plan as Figure 6 code with analyzer findings interleaved as
+/// `#` comments above the line they refer to (plan-wide findings lead the
+/// script) — the REPL `check` view.
+pub fn to_python_annotated(plan: &Plan, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for d in &analysis.diagnostics {
+        if d.node_id.is_none() {
+            out.push_str(&format!("# {d}\n"));
+        }
+    }
+    for line in to_python(plan).lines() {
+        let id = line
+            .strip_prefix("out_")
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|n| n.parse::<usize>().ok());
+        if let Some(id) = id {
+            for d in &analysis.diagnostics {
+                if d.node_id == Some(id) {
+                    out.push_str(&format!("# {d}\n"));
+                }
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 fn py_bool(b: bool) -> &'static str {
     if b {
         "True"
@@ -191,6 +220,23 @@ mod tests {
         ] {
             assert!(code.contains(needle), "missing {needle} in:\n{code}");
         }
+    }
+
+    #[test]
+    fn annotated_rendering_interleaves_diagnostics() {
+        let plan = figure5_plan();
+        let mut analysis = crate::analyze::Analysis::default();
+        analysis.diagnostics.push(
+            aryn_core::Diagnostic::warning("dead-node", "node 3 does not contribute").at_node(3),
+        );
+        analysis
+            .diagnostics
+            .push(aryn_core::Diagnostic::hint("plan-wide", "example plan-level finding"));
+        let code = to_python_annotated(&plan, &analysis);
+        let lines: Vec<&str> = code.lines().collect();
+        assert!(lines[0].starts_with("# hint[plan-wide]"));
+        let warn_pos = lines.iter().position(|l| l.contains("warning[dead-node]")).unwrap();
+        assert!(lines[warn_pos + 1].starts_with("out_3 = "), "{code}");
     }
 
     #[test]

@@ -169,9 +169,13 @@ impl PlanExecutor {
         }
     }
 
-    /// Runs a validated plan.
+    /// Runs a validated plan. Beyond structural validation, the semantic
+    /// analyzer ([`crate::analyze`]) runs against schemas discovered from
+    /// the scanned stores; a plan with Error-severity diagnostics is refused
+    /// before any operator executes.
     pub fn execute(&self, plan: &Plan) -> Result<LunaResult> {
         plan.validate()?;
+        self.check_plan(plan)?;
         let order = plan.topo_order()?;
         let mut outputs: BTreeMap<usize, NodeOutput> = BTreeMap::new();
         let mut traces = Vec::with_capacity(order.len());
@@ -216,6 +220,47 @@ impl PlanExecutor {
             answer,
             traces,
         })
+    }
+
+    /// The executor's analyzer gate. Schemas are discovered best-effort from
+    /// the stores the plan scans: a store that cannot be opened is skipped
+    /// (the scan operator surfaces its own `Index` error at runtime), so the
+    /// gate never masks unknown-index failures with a different error kind.
+    fn check_plan(&self, plan: &Plan) -> Result<()> {
+        let mut schemas: Vec<crate::schema::IndexSchema> = Vec::new();
+        for n in &plan.nodes {
+            let PlanOp::QueryDatabase { index, .. } = &n.op else { continue };
+            if schemas.iter().any(|s| s.index == *index) {
+                continue;
+            }
+            if let Ok(schema) = self
+                .ctx
+                .with_store(index, |s| crate::schema::IndexSchema::discover(index, s))
+            {
+                schemas.push(schema);
+            }
+        }
+        let analysis = crate::analyze::analyze(plan, &schemas);
+        if self.telemetry.is_enabled() {
+            self.telemetry.count(
+                "analyze:execute",
+                "analyzer",
+                &[
+                    ("errors", analysis.errors().len() as u64),
+                    (
+                        "diagnostics",
+                        analysis.diagnostics.len() as u64,
+                    ),
+                ],
+            );
+        }
+        if analysis.has_errors() {
+            return Err(ArynError::InvalidPlan(format!(
+                "refusing to execute a plan with analyzer errors:\n{}",
+                analysis.render_errors()
+            )));
+        }
+        Ok(())
     }
 
     /// Combined snapshot across the default client and all pinned model

@@ -8,6 +8,7 @@
 //! to Python-like Sycamore scripts ([`codegen`]), and a traced executor with
 //! human-in-the-loop plan editing ([`exec`], [`luna`]).
 
+pub mod analyze;
 pub mod bench18;
 pub mod codegen;
 pub mod exec;
@@ -18,6 +19,7 @@ pub mod optimize;
 pub mod planner;
 pub mod schema;
 
+pub use analyze::{analyze, Analysis, Analyzer, FieldType, LintRule, PlanCtx, Shape};
 pub use exec::{eval_math, LunaResult, NodeOutput, NodeTrace, PlanExecutor};
 pub use kg::{build_earnings_graph, build_ntsb_graph, competitors_of};
 pub use luna::{earnings_schema, ingest_lake, ntsb_schema, Luna, LunaAnswer, LunaConfig};

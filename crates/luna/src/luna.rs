@@ -1,14 +1,15 @@
 //! The Luna front end: natural-language question → plan (via the LLM) →
 //! optimize → Sycamore execution, with human-in-the-loop plan editing.
 
+use crate::analyze::Analysis;
 use crate::exec::{LunaResult, PlanExecutor};
 use crate::ops::{Plan, PlanOp};
 use crate::optimize::{optimize, Optimized, OptimizerCfg};
 use crate::planner::{PlannerEngine, RulePlanner};
 use crate::schema::IndexSchema;
-use aryn_core::{ArynError, Result, Value};
+use aryn_core::{ArynError, Result, Severity, Value};
 use aryn_llm::prompt::tasks;
-use aryn_llm::{LlmClient, MockLlm, ModelSpec, SimConfig};
+use aryn_llm::{LlmClient, MockLlm, ModelSpec, SimConfig, TaskEngine};
 use aryn_telemetry::{Telemetry, Trace};
 use std::sync::Arc;
 
@@ -23,6 +24,10 @@ pub struct LunaConfig {
     pub optimizer: OptimizerCfg,
     /// Re-plan attempts when the produced plan fails validation.
     pub max_replan: u32,
+    /// Override for the planner brain registered on the simulated LLM
+    /// (defaults to [`PlannerEngine`] over the discovered schemas). Tests
+    /// inject engines here to exercise the repair loop.
+    pub planner_engine: Option<Box<dyn TaskEngine>>,
 }
 
 impl Default for LunaConfig {
@@ -33,6 +38,7 @@ impl Default for LunaConfig {
             sim: SimConfig::default(),
             optimizer: OptimizerCfg::default(),
             max_replan: 3,
+            planner_engine: None,
         }
     }
 }
@@ -55,9 +61,12 @@ impl Luna {
             let schema = ctx.with_store(name, |s| IndexSchema::discover(name, s))?;
             schemas.push(schema);
         }
-        // The planner LLM: the rule planner registered as its `plan` brain.
-        let planner_llm = MockLlm::new(cfg.planner_model, cfg.sim.clone())
-            .with_engine(Box::new(PlannerEngine::new(RulePlanner::new(schemas.clone()))));
+        // The planner LLM: the rule planner registered as its `plan` brain
+        // (or an injected engine, used by repair-loop tests).
+        let engine = cfg.planner_engine.unwrap_or_else(|| {
+            Box::new(PlannerEngine::new(RulePlanner::new(schemas.clone())))
+        });
+        let planner_llm = MockLlm::new(cfg.planner_model, cfg.sim.clone()).with_engine(engine);
         let planner_client = LlmClient::new(Arc::new(planner_llm)).with_policy(
             aryn_llm::RetryPolicy {
                 max_reask: 4,
@@ -112,8 +121,34 @@ impl Luna {
     }
 
     /// Plans a question via the LLM, validating and re-asking on failure —
-    /// the paper's planning loop.
+    /// the paper's planning loop — then gates the result on the semantic
+    /// analyzer ([`crate::analyze`]). On Error-severity diagnostics the
+    /// planner is re-prompted once with the rendered diagnostics (the repair
+    /// loop) before the question fails.
     pub fn plan(&self, question: &str) -> Result<Plan> {
+        let (plan, analysis) = self.plan_with_analysis(question)?;
+        if analysis.has_errors() {
+            return Err(ArynError::InvalidPlan(format!(
+                "plan failed semantic analysis:\n{}",
+                analysis.render_errors()
+            )));
+        }
+        Ok(plan)
+    }
+
+    /// Plans a question and returns the full analyzer report without gating
+    /// on it — the REPL's `check` command. The repair loop still runs, so a
+    /// clean result means "clean after at most one repair".
+    pub fn check(&self, question: &str) -> Result<(Plan, Analysis)> {
+        self.plan_with_analysis(question)
+    }
+
+    /// Analyzes an already-built plan against the discovered schemas.
+    pub fn analyze(&self, plan: &Plan) -> Analysis {
+        crate::analyze::analyze(plan, &self.schemas)
+    }
+
+    fn plan_with_analysis(&self, question: &str) -> Result<(Plan, Analysis)> {
         let schema_render = if self.schemas.is_empty() {
             Value::object()
         } else {
@@ -145,6 +180,11 @@ impl Luna {
                 .gauge("llm_cost_usd", delta.usage.cost_usd);
             span.finish();
         };
+        // One semantic repair re-prompt per question: structural re-asks are
+        // cheap resamples, but a semantic failure feeds the rendered
+        // diagnostics back as a prompt param (DocETL's agentic-rewrite
+        // pattern applied to our validation stage).
+        let mut repaired = false;
         for attempt in 0..=self.max_replan {
             let v = match self.planner_client.generate_json(&prompt, 2048) {
                 Ok(v) => v,
@@ -162,9 +202,28 @@ impl Luna {
                 Ok(p)
             }) {
                 Ok(plan) => {
+                    let analysis = self.analyze(&plan);
+                    self.record_analysis("analyze:plan", &analysis);
+                    if analysis.has_errors() && !repaired {
+                        repaired = true;
+                        let rendered = analysis.render_errors();
+                        prompt = tasks::plan_repair(
+                            question,
+                            &schema_render,
+                            &PlanOp::KINDS,
+                            &rendered,
+                        );
+                        last_err = Some(ArynError::InvalidPlan(rendered));
+                        continue;
+                    }
                     let nodes = plan.topo_order().map(|o| o.len()).unwrap_or(0);
-                    record(attempt, "ok", nodes);
-                    return Ok(plan);
+                    let outcome = if analysis.has_errors() {
+                        "semantic-errors"
+                    } else {
+                        "ok"
+                    };
+                    record(attempt, outcome, nodes);
+                    return Ok((plan, analysis));
                 }
                 Err(e) => {
                     // Re-prompt with feedback: a fresh prompt also resamples
@@ -180,11 +239,34 @@ impl Luna {
         Err(last_err.unwrap_or_else(|| ArynError::Plan("planning failed".into())))
     }
 
+    /// Records an analyzer verdict as telemetry counters: per-severity
+    /// tallies plus one counter per lint code that fired.
+    fn record_analysis(&self, site: &str, analysis: &Analysis) {
+        let tel = &self.executor.telemetry;
+        if !tel.is_enabled() {
+            return;
+        }
+        let mut counters: Vec<(&str, u64)> = vec![
+            ("errors", analysis.count(Severity::Error) as u64),
+            ("warnings", analysis.count(Severity::Warning) as u64),
+            ("hints", analysis.count(Severity::Hint) as u64),
+        ];
+        let mut by_code: std::collections::BTreeMap<&str, u64> = Default::default();
+        for d in &analysis.diagnostics {
+            *by_code.entry(d.code).or_insert(0) += 1;
+        }
+        counters.extend(by_code);
+        tel.count(site, "analyzer", &counters);
+    }
+
     /// Optimizes a plan, returning the rewritten plan and notes. Each
     /// optimizer decision (e.g. rewriting a semantic LLM filter into a
-    /// structured string match) is recorded as a span note.
-    pub fn optimize(&self, plan: &Plan) -> Optimized {
-        let optimized = optimize(plan, &self.schemas, &self.optimizer);
+    /// structured string match) is recorded as a span note. Every pass
+    /// output is re-checked by the analyzer; a pass that breaks the plan is
+    /// an error in all build profiles.
+    pub fn optimize(&self, plan: &Plan) -> Result<Optimized> {
+        let optimized = optimize(plan, &self.schemas, &self.optimizer)?;
+        self.record_analysis("analyze:optimize", &self.analyze(&optimized.plan));
         let tel = &self.executor.telemetry;
         if tel.is_enabled() {
             let mut span = tel.span("optimize", "optimizer");
@@ -197,7 +279,7 @@ impl Luna {
             }
             span.finish();
         }
-        optimized
+        Ok(optimized)
     }
 
     /// Executes a (validated) plan with tracing.
@@ -212,7 +294,7 @@ impl Luna {
         let tel = self.executor.telemetry.clone();
         let mark = tel.span_count();
         let plan = self.plan(question)?;
-        let optimized = self.optimize(&plan);
+        let optimized = self.optimize(&plan)?;
         let result = self.execute(&optimized.plan)?;
         let snapshot = tel.snapshot();
         let trace = Trace {
@@ -230,10 +312,10 @@ impl Luna {
     }
 
     /// Executes an edited plan (the human-in-the-loop path): the plan is
-    /// re-validated before running.
+    /// re-validated and re-analyzed before running.
     pub fn execute_edited(&self, plan: &Plan) -> Result<LunaResult> {
         plan.validate()?;
-        let optimized = self.optimize(plan);
+        let optimized = self.optimize(plan)?;
         self.execute(&optimized.plan)
     }
 

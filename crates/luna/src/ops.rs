@@ -199,54 +199,16 @@ impl Plan {
 
     /// Structural validation: unique ids, valid arities, acyclic, result
     /// exists, semantic ops have non-empty parameters.
+    ///
+    /// Thin wrapper over [`crate::analyze::structural`], which reports the
+    /// same checks as [`aryn_core::Diagnostic`]s; the first finding becomes
+    /// the `InvalidPlan` message. Semantic checking (field resolution, type
+    /// checking, lints) lives in [`crate::analyze::analyze`].
     pub fn validate(&self) -> Result<()> {
-        if self.nodes.is_empty() {
-            return Err(ArynError::InvalidPlan("empty plan".into()));
+        match crate::analyze::structural(self).into_iter().next() {
+            Some(d) => Err(ArynError::InvalidPlan(d.message)),
+            None => Ok(()),
         }
-        let mut seen = BTreeSet::new();
-        for n in &self.nodes {
-            if !seen.insert(n.id) {
-                return Err(ArynError::InvalidPlan(format!("duplicate node id {}", n.id)));
-            }
-            let (lo, hi) = n.op.arity();
-            if n.inputs.len() < lo || n.inputs.len() > hi {
-                return Err(ArynError::InvalidPlan(format!(
-                    "node {} ({}) takes {lo}..{} inputs, got {}",
-                    n.id,
-                    n.op.kind(),
-                    if hi == usize::MAX { "N".to_string() } else { hi.to_string() },
-                    n.inputs.len()
-                )));
-            }
-            match &n.op {
-                PlanOp::LlmFilter { predicate, .. } if predicate.trim().is_empty() => {
-                    return Err(ArynError::InvalidPlan(format!(
-                        "node {}: llmFilter with empty predicate",
-                        n.id
-                    )))
-                }
-                PlanOp::LlmExtract { field, .. } if field.trim().is_empty() => {
-                    return Err(ArynError::InvalidPlan(format!(
-                        "node {}: llmExtract with empty field",
-                        n.id
-                    )))
-                }
-                PlanOp::Math { expr } if expr.trim().is_empty() => {
-                    return Err(ArynError::InvalidPlan(format!(
-                        "node {}: math with empty expression",
-                        n.id
-                    )))
-                }
-                _ => {}
-            }
-        }
-        if self.node(self.result).is_none() {
-            return Err(ArynError::InvalidPlan(format!(
-                "result node {} does not exist",
-                self.result
-            )));
-        }
-        self.topo_order().map(|_| ())
     }
 
     // --- JSON ---------------------------------------------------------------

@@ -17,7 +17,7 @@
 
 use crate::ops::{Plan, PlanOp};
 use crate::schema::IndexSchema;
-use aryn_core::{lexicon, Value};
+use aryn_core::{lexicon, ArynError, Result, Value};
 use aryn_llm::registry::{ModelSpec, GPT4_SIM, LLAMA7B_SIM};
 
 /// Optimizer configuration.
@@ -53,23 +53,46 @@ pub struct Optimized {
 }
 
 /// Runs all enabled passes.
-pub fn optimize(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg) -> Optimized {
+///
+/// Every pass output is re-checked by the semantic analyzer
+/// ([`crate::analyze`]) in all build profiles — a rewrite that hallucinates
+/// a field, breaks the DAG, or changes an operator's input shape is an
+/// `InvalidPlan` error naming the offending pass, never a silently wrong
+/// answer at runtime.
+pub fn optimize(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg) -> Result<Optimized> {
     let mut plan = plan.clone();
     let mut notes = Vec::new();
+    check_pass("input", &plan, schemas)?;
     if cfg.pushdown {
         pushdown(&mut plan, schemas, &mut notes);
+        check_pass("pushdown", &plan, schemas)?;
     }
     if cfg.reorder {
         reorder_filters(&mut plan, &mut notes);
+        check_pass("reorder", &plan, schemas)?;
     }
     if cfg.batch_filters {
         batch_filters(&mut plan, &mut notes);
+        check_pass("batch", &plan, schemas)?;
     }
     if cfg.model_selection {
         select_models(&mut plan, cfg, &mut notes);
+        check_pass("model-selection", &plan, schemas)?;
     }
-    debug_assert!(plan.validate().is_ok());
-    Optimized { plan, notes }
+    Ok(Optimized { plan, notes })
+}
+
+/// The analyzer gate behind each pass (replaces the old `debug_assert!`,
+/// which vanished in release builds).
+fn check_pass(pass: &str, plan: &Plan, schemas: &[IndexSchema]) -> Result<()> {
+    let analysis = crate::analyze::analyze(plan, schemas);
+    if analysis.has_errors() {
+        return Err(ArynError::InvalidPlan(format!(
+            "optimizer pass {pass:?} produced an invalid plan:\n{}",
+            analysis.render_errors()
+        )));
+    }
+    Ok(())
 }
 
 /// Pass 1: llmFilter → basicFilter when the predicate names a schema value.
@@ -107,8 +130,9 @@ fn pushdown(plan: &mut Plan, schemas: &[IndexSchema], notes: &mut Vec<String>) {
 }
 
 /// Maps a semantic predicate to `(field, value)` when it names a known
-/// categorical value of the schema.
-fn structured_equivalent(predicate: &str, schema: &IndexSchema) -> Option<(String, Value)> {
+/// categorical value of the schema. Shared with the analyzer's
+/// `semantic-pushdown` hint.
+pub(crate) fn structured_equivalent(predicate: &str, schema: &IndexSchema) -> Option<(String, Value)> {
     let p = predicate.to_lowercase();
     // State mentions: "occurred in Alaska (AK)" — the planner annotates the
     // abbreviation; bare full names also resolve via the lexicon.
@@ -373,7 +397,7 @@ mod tests {
     fn pushdown_converts_state_filter() {
         let planner = RulePlanner::new(schemas());
         let plan = planner.plan_question("How many incidents occurred in Alaska?");
-        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default());
+        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default()).unwrap();
         assert!(opt
             .plan
             .nodes
@@ -404,7 +428,7 @@ mod tests {
             ],
             result: 1,
         };
-        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default());
+        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default()).unwrap();
         assert!(matches!(&opt.plan.nodes[1].op, PlanOp::LlmFilter { .. }));
     }
 
@@ -435,7 +459,7 @@ mod tests {
             ],
             result: 3,
         };
-        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default());
+        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default()).unwrap();
         assert!(matches!(opt.plan.nodes[1].op, PlanOp::RangeFilter { .. }));
         assert!(matches!(opt.plan.nodes[2].op, PlanOp::LlmFilter { .. }));
         assert!(opt.notes.iter().any(|n| n.contains("reordered")));
@@ -449,7 +473,7 @@ mod tests {
         let planner = RulePlanner::new(schemas());
         let plan = planner
             .plan_question("What percent of environmentally caused incidents were due to wind?");
-        let opt = optimize(&plan, &schemas(), &OptimizerCfg { pushdown: false, ..OptimizerCfg::default() });
+        let opt = optimize(&plan, &schemas(), &OptimizerCfg { pushdown: false, ..OptimizerCfg::default() }).unwrap();
         assert!(matches!(&opt.plan.nodes[0].op, PlanOp::QueryDatabase { .. }));
         opt.plan.validate().unwrap();
     }
@@ -493,7 +517,8 @@ mod tests {
                     min_accuracy,
                     ..OptimizerCfg::default()
                 },
-            );
+            )
+            .unwrap();
             opt.plan
                 .nodes
                 .iter()
@@ -532,7 +557,7 @@ mod tests {
             ],
             result: 1,
         };
-        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default());
+        let opt = optimize(&plan, &schemas(), &OptimizerCfg::default()).unwrap();
         // Pushdown may not apply ("wind" has no single structured field in
         // this schema? cause_detail exists — but predicate is causal, not
         // named; assert the model stays pinned if the filter survived).
@@ -590,7 +615,7 @@ mod batch_tests {
             model_selection: false,
             ..OptimizerCfg::default()
         };
-        let opt = optimize(&chain_plan(), &[], &cfg);
+        let opt = optimize(&chain_plan(), &[], &cfg).unwrap();
         opt.plan.validate().unwrap();
         let filters: Vec<&PlanOp> = opt
             .plan
@@ -641,7 +666,7 @@ mod batch_tests {
             model_selection: false,
             ..OptimizerCfg::default()
         };
-        let opt = optimize(&plan, &[], &cfg);
+        let opt = optimize(&plan, &[], &cfg).unwrap();
         let n_filters = opt
             .plan
             .nodes

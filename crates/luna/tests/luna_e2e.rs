@@ -63,7 +63,7 @@ fn optimizer_pushdown_reduces_llm_calls() {
     // Unoptimized: semantic filter over every document.
     let unopt = luna.execute(&plan).unwrap();
     // Optimized: pushed down to a structured filter; no per-row LLM calls.
-    let optimized = luna.optimize(&plan);
+    let optimized = luna.optimize(&plan).unwrap();
     assert!(optimized.notes.iter().any(|n| n.contains("pushed down")), "{:?}", optimized.notes);
     let opt = luna.execute(&optimized.plan).unwrap();
     assert!(opt.total_llm_calls() < unopt.total_llm_calls());

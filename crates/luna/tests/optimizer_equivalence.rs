@@ -156,7 +156,7 @@ proptest! {
         let plan = build_plan(index, &picks, terminal);
         plan.validate().unwrap();
 
-        let optimized = luna.optimize(&plan);
+        let optimized = luna.optimize(&plan).unwrap();
         optimized.plan.validate().unwrap();
 
         let base = luna.execute(&plan).unwrap();
@@ -187,7 +187,7 @@ proptest! {
             model_selection: pass == 3,
             ..OptimizerCfg::default()
         };
-        let optimized = luna::optimize(&plan, luna.schemas(), &cfg);
+        let optimized = luna::optimize(&plan, luna.schemas(), &cfg).unwrap();
         let base = luna.execute(&plan).unwrap();
         let opt = luna.execute(&optimized.plan).unwrap();
         prop_assert_eq!(
@@ -196,6 +196,86 @@ proptest! {
             "pass {} changed the answer; rewrites: {:?}",
             pass,
             optimized.notes
+        );
+    }
+
+    /// §ISSUE acceptance: every optimizer pass output is analyzer-clean.
+    /// `optimize()` itself re-analyzes after each enabled pass and errors if
+    /// a pass broke the plan (in every build profile), so `Ok` already
+    /// certifies the intermediate outputs; the final plan is re-checked here
+    /// explicitly, warnings included in the failure message.
+    #[test]
+    fn analyzer_accepts_every_optimizer_output(
+        on_ntsb in any::<bool>(),
+        picks in prop::collection::vec(0usize..64, 0..=4),
+        terminal in 0usize..4,
+        pass in 0usize..5,
+    ) {
+        let luna = fixture();
+        let index = if on_ntsb { "ntsb" } else { "earnings" };
+        let plan = build_plan(index, &picks, terminal);
+        let input = luna.analyze(&plan);
+        prop_assert!(!input.has_errors(), "generated plan not clean:\n{}", input.render());
+        let cfg = OptimizerCfg {
+            pushdown: pass == 0 || pass == 4,
+            reorder: pass == 1 || pass == 4,
+            batch_filters: pass == 2 || pass == 4,
+            model_selection: pass == 3 || pass == 4,
+            ..OptimizerCfg::default()
+        };
+        let optimized = luna::optimize(&plan, luna.schemas(), &cfg).unwrap();
+        let out = luna.analyze(&optimized.plan);
+        prop_assert!(
+            !out.has_errors(),
+            "pass set {} produced analyzer errors:\n{}\nplan: {}",
+            pass,
+            out.render(),
+            optimized.plan.describe()
+        );
+    }
+}
+
+/// §ISSUE acceptance: the analyzer accepts every planner-generated plan over
+/// both domain schemas — the question pool covers every plan shape the rule
+/// planner produces (percent-of, count, average, top-k, superlative, list,
+/// summarize, graph expansion, query-time extraction, joins of cues).
+#[test]
+fn analyzer_accepts_every_planner_generated_plan() {
+    let luna = fixture();
+    let questions = [
+        // NTSB shapes.
+        "What percent of environmentally caused incidents were due to wind?",
+        "How many incidents occurred in Alaska?",
+        "How many incidents were caused by wind?",
+        "How many incidents were caused by engine failure in 2019?",
+        "Which state had the most incidents?",
+        "What was the average fatal injuries per incident?",
+        "How many incidents involved fatalities?",
+        "What was the most common phase of incidents?",
+        "Summarize the incidents caused by weather",
+        // Earnings shapes.
+        "What was the average revenue growth of companies in the AI sector?",
+        "Which company had the highest revenue?",
+        "How many companies lowered guidance?",
+        "List the companies whose CEO recently changed",
+        "What is the yearly revenue growth and sentiment of companies whose CEO recently changed?",
+        "List the fastest growing companies in the AI market and their competitors",
+    ];
+    for q in questions {
+        let (plan, analysis) = luna.check(q).expect(q);
+        assert!(
+            !analysis.has_errors(),
+            "{q}: planner plan failed analysis:\n{}\nplan: {}",
+            analysis.render(),
+            plan.describe()
+        );
+        // And the fully optimized form stays clean.
+        let optimized = luna.optimize(&plan).expect(q);
+        let out = luna.analyze(&optimized.plan);
+        assert!(
+            !out.has_errors(),
+            "{q}: optimized plan failed analysis:\n{}",
+            out.render()
         );
     }
 }

@@ -50,6 +50,13 @@ impl DocSet {
         self.ops.iter().map(Op::name).collect()
     }
 
+    /// Lints the pipeline's operator ordering (see [`crate::lint`]):
+    /// advisory diagnostics for stale embeddings, misplaced materializes,
+    /// dead sorts, and ops after a terminal sink.
+    pub fn check(&self) -> Vec<aryn_core::Diagnostic> {
+        crate::lint::check_ops(&self.ops)
+    }
+
     fn push(mut self, op: Op) -> DocSet {
         self.ops.push(op);
         self

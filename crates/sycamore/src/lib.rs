@@ -22,6 +22,7 @@
 pub mod context;
 pub mod docset;
 pub mod exec;
+pub mod lint;
 pub mod op;
 pub mod stats;
 pub mod transforms;

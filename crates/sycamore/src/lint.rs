@@ -1,0 +1,259 @@
+//! Dataflow lints for DocSet pipelines.
+//!
+//! The sibling of `luna::analyze` for the ETL side of the paper: a static
+//! pass over a [`DocSet`](crate::DocSet)'s logical operator list that flags
+//! orderings which execute fine but waste LLM/embedding spend or silently
+//! drop work. Reuses the shared [`aryn_core::Diagnostic`] type; the findings
+//! are advisory (Warnings/Hints) — pipelines are never refused.
+//!
+//! `node_id` on a pipeline diagnostic is the operator's index and `path` is
+//! `ops[i]`, mirroring how plan diagnostics point into the plan JSON.
+
+use crate::op::Op;
+use aryn_core::Diagnostic;
+
+/// Diagnostic codes emitted by the pipeline linter; documented in DESIGN.md
+/// (enforced by `cargo xtask lint`).
+pub mod codes {
+    pub const EXPLODE_AFTER_EMBED: &str = "explode-after-embed";
+    pub const STALE_EMBEDDINGS: &str = "stale-embeddings";
+    pub const MATERIALIZE_HEAD: &str = "materialize-head";
+    pub const OP_AFTER_TERMINAL: &str = "op-after-terminal";
+    pub const DEAD_SORT: &str = "dead-sort";
+    pub const LIMIT_BEFORE_SORT: &str = "limit-before-sort";
+
+    /// All pipeline lint codes, for documentation checks.
+    pub const ALL: &[&str] = &[
+        EXPLODE_AFTER_EMBED,
+        STALE_EMBEDDINGS,
+        MATERIALIZE_HEAD,
+        OP_AFTER_TERMINAL,
+        DEAD_SORT,
+        LIMIT_BEFORE_SORT,
+    ];
+}
+
+/// Does this op change document content or properties (invalidating
+/// embeddings computed earlier)?
+fn mutates_docs(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Map { .. }
+            | Op::FlatMap { .. }
+            | Op::Partition { .. }
+            | Op::Explode
+            | Op::LlmQuery { .. }
+            | Op::ExtractProperties { .. }
+            | Op::LlmClassify { .. }
+            | Op::Summarize { .. }
+            | Op::SummarizeSections { .. }
+    )
+}
+
+fn at(code: &'static str, i: usize, message: String) -> Diagnostic {
+    Diagnostic::warning(code, message)
+        .at_node(i)
+        .at_path(format!("ops[{i}]"))
+}
+
+/// Lints a logical operator sequence.
+pub fn check_ops(ops: &[Op]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut embed_at: Option<usize> = None;
+    let mut terminal_at: Option<usize> = None;
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(t) = terminal_at {
+            out.push(
+                at(
+                    codes::OP_AFTER_TERMINAL,
+                    i,
+                    format!(
+                        "{} runs after the terminal summarize_all at ops[{t}]; it only sees the one summary document",
+                        op.name()
+                    ),
+                )
+                .with_suggestion("move the op before summarize_all, or drop it"),
+            );
+        }
+        match op {
+            Op::Explode => {
+                if let Some(e) = embed_at {
+                    out.push(
+                        at(
+                            codes::EXPLODE_AFTER_EMBED,
+                            i,
+                            format!(
+                                "explode runs after embed at ops[{e}]; chunk documents inherit whole-document embeddings"
+                            ),
+                        )
+                        .with_suggestion("explode first, then embed the chunks"),
+                    );
+                }
+            }
+            Op::Embed => embed_at = Some(i),
+            Op::Materialize { name, .. } => {
+                if i == 0 {
+                    out.push(
+                        at(
+                            codes::MATERIALIZE_HEAD,
+                            i,
+                            format!("materialize({name}) is the first op; there is nothing computed to checkpoint"),
+                        )
+                        .with_suggestion("materialize after the expensive stages it should cache"),
+                    );
+                } else if matches!(ops.get(i - 1), Some(Op::Materialize { .. })) {
+                    out.push(
+                        at(
+                            codes::MATERIALIZE_HEAD,
+                            i,
+                            format!("materialize({name}) immediately follows another materialize; the second checkpoint caches nothing new"),
+                        )
+                        .with_suggestion("keep one checkpoint per pipeline segment"),
+                    );
+                }
+            }
+            Op::SortBy { path, .. } => {
+                match ops.get(i + 1) {
+                    Some(Op::SortBy { .. }) | Some(Op::ReduceByKey { .. }) => {
+                        out.push(
+                            at(
+                                codes::DEAD_SORT,
+                                i,
+                                format!(
+                                    "sort({path}) is immediately discarded by the next op ({}), which re-orders the collection",
+                                    ops[i + 1].name()
+                                ),
+                            )
+                            .with_suggestion("remove the dead sort"),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            Op::Limit(n) => {
+                if let Some(Op::SortBy { path, .. }) = ops.get(i + 1) {
+                    out.push(
+                        at(
+                            codes::LIMIT_BEFORE_SORT,
+                            i,
+                            format!(
+                                "limit({n}) truncates the collection before sort({path}); a top-k usually sorts first and limits after"
+                            ),
+                        )
+                        .with_suggestion("swap the ops: sort, then limit"),
+                    );
+                }
+            }
+            Op::SummarizeAll { .. } => terminal_at = Some(i),
+            _ => {}
+        }
+        // Stale-embedding check after the per-op match so explode gets the
+        // more specific code above.
+        if embed_at.is_some() && !matches!(op, Op::Explode) && mutates_docs(op) {
+            let e = embed_at.unwrap_or(0);
+            out.push(
+                at(
+                    codes::STALE_EMBEDDINGS,
+                    i,
+                    format!(
+                        "{} mutates documents after embed at ops[{e}]; the stored embeddings no longer reflect the content",
+                        op.name()
+                    ),
+                )
+                .with_suggestion("embed last, after all content-changing transforms"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_llm::{LlmClient, MockLlm, SimConfig, GPT4_SIM};
+    use std::sync::Arc;
+
+    fn client() -> LlmClient {
+        LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(7))))
+    }
+
+    #[test]
+    fn clean_pipeline_is_quiet() {
+        let ops = vec![
+            Op::Explode,
+            Op::ExtractProperties {
+                client: client(),
+                schema: aryn_core::obj! { "state" => "string" },
+                selector: crate::ElementSelector::All,
+            },
+            Op::Embed,
+            Op::SortBy { path: "state".into(), descending: false },
+            Op::Limit(5),
+        ];
+        assert!(check_ops(&ops).is_empty(), "{:?}", check_ops(&ops));
+    }
+
+    #[test]
+    fn explode_after_embed_flags() {
+        let diags = check_ops(&[Op::Embed, Op::Explode]);
+        assert!(diags.iter().any(|d| d.code == codes::EXPLODE_AFTER_EMBED));
+        assert_eq!(diags[0].node_id, Some(1));
+        assert_eq!(diags[0].path, "ops[1]");
+    }
+
+    #[test]
+    fn mutation_after_embed_flags_stale_embeddings() {
+        let ops = vec![
+            Op::Embed,
+            Op::Summarize {
+                client: client(),
+                instructions: "tl;dr".into(),
+                output_path: "summary".into(),
+                selector: crate::ElementSelector::All,
+            },
+        ];
+        let diags = check_ops(&ops);
+        assert!(diags.iter().any(|d| d.code == codes::STALE_EMBEDDINGS));
+        // Filters do not mutate: no warning.
+        let ops = vec![Op::Embed, Op::Limit(3)];
+        assert!(check_ops(&ops).is_empty());
+    }
+
+    #[test]
+    fn materialize_placement_checks() {
+        let head = check_ops(&[Op::Materialize { name: "m".into(), dir: None }]);
+        assert!(head.iter().any(|d| d.code == codes::MATERIALIZE_HEAD));
+        let double = check_ops(&[
+            Op::Explode,
+            Op::Materialize { name: "a".into(), dir: None },
+            Op::Materialize { name: "b".into(), dir: None },
+        ]);
+        assert!(double.iter().any(|d| d.code == codes::MATERIALIZE_HEAD && d.node_id == Some(2)));
+    }
+
+    #[test]
+    fn ops_after_terminal_sink_flag() {
+        let ops = vec![
+            Op::SummarizeAll { client: client(), instructions: "overview".into() },
+            Op::Limit(10),
+        ];
+        let diags = check_ops(&ops);
+        assert!(diags.iter().any(|d| d.code == codes::OP_AFTER_TERMINAL));
+    }
+
+    #[test]
+    fn dead_sort_and_limit_before_sort() {
+        let ops = vec![
+            Op::SortBy { path: "a".into(), descending: false },
+            Op::SortBy { path: "b".into(), descending: true },
+        ];
+        assert!(check_ops(&ops).iter().any(|d| d.code == codes::DEAD_SORT));
+        let ops = vec![
+            Op::Limit(3),
+            Op::SortBy { path: "a".into(), descending: false },
+        ];
+        assert!(check_ops(&ops)
+            .iter()
+            .any(|d| d.code == codes::LIMIT_BEFORE_SORT));
+    }
+}

@@ -1,0 +1,243 @@
+//! Repo automation, invoked as `cargo xtask <command>`.
+//!
+//! `lint` is the CI hygiene pass:
+//!
+//! 1. **Forbidden-call scan.** Non-test library code must not call
+//!    `unwrap()`, `expect()`, or `panic!` — operators surface failures as
+//!    `ArynError`, not aborts. Test modules, integration tests, benches, and
+//!    examples are exempt, and pre-existing sites are grandfathered by the
+//!    per-file budgets in `crates/xtask/lint-allow.txt` (shrink a budget when
+//!    you remove a site; never grow one).
+//! 2. **Diagnostic-code doc check.** Every analyzer code
+//!    ([`luna::analyze::codes::ALL`]) and pipeline lint code
+//!    ([`sycamore::lint::codes::ALL`]) must be documented in `DESIGN.md`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) => root.to_path_buf(),
+        None => manifest.to_path_buf(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match lint(&repo_root()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(root: &Path) -> Result<(), String> {
+    let mut failures = Vec::new();
+    forbidden_call_scan(root, &mut failures)?;
+    doc_code_check(root, &mut failures)?;
+    if failures.is_empty() {
+        println!("xtask lint: ok");
+        Ok(())
+    } else {
+        Err(format!(
+            "xtask lint: {} failure(s)\n{}",
+            failures.len(),
+            failures.join("\n")
+        ))
+    }
+}
+
+// --- Forbidden-call scan ----------------------------------------------------
+
+const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+
+/// Parses `lint-allow.txt`: `path count` lines, `#` comments.
+fn load_allowlist(root: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let path = root.join("crates/xtask/lint-allow.txt");
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next().and_then(|n| n.parse().ok())) {
+            (Some(p), Some(n)) => {
+                out.insert(p.to_string(), n);
+            }
+            _ => return Err(format!("malformed allowlist line: {line:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn forbidden_call_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    let allow = load_allowlist(root)?;
+    let mut counts: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot list {}: {e}", crates.display()))?;
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        // xtask itself holds the forbidden tokens as string literals.
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        // Library code only: integration tests, benches, and examples may
+        // assert freely.
+        scan_dir(&dir.join("src"), root, &mut counts)?;
+    }
+    for (file, sites) in &counts {
+        let budget = allow.get(file).copied().unwrap_or(0);
+        if sites.len() > budget {
+            for (lineno, line) in sites {
+                failures.push(format!("{file}:{lineno}: forbidden call in library code: {line}"));
+            }
+            failures.push(format!(
+                "{file}: {} forbidden call(s), budget {budget} — return an ArynError instead \
+                 (or, for a pre-existing site, raise its budget in crates/xtask/lint-allow.txt)",
+                sites.len()
+            ));
+        }
+    }
+    // Stale budgets hide future regressions; flag them loudly but pass.
+    for (file, budget) in &allow {
+        let have = counts.get(file).map_or(0, Vec::len);
+        if have < *budget {
+            println!(
+                "xtask lint: note: {file} budget {budget} but only {have} site(s) — tighten lint-allow.txt"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn scan_dir(
+    dir: &Path,
+    root: &Path,
+    counts: &mut BTreeMap<String, Vec<(usize, String)>>,
+) -> Result<(), String> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Ok(()); // crates without src/ (none today) are fine
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            scan_dir(&path, root, counts)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            for site in scan_source(&text) {
+                counts.entry(rel.clone()).or_default().push(site);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns (1-based line, trimmed text) for each forbidden call outside
+/// comments and `#[cfg(test)]` blocks.
+fn scan_source(text: &str) -> Vec<(usize, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim();
+        if trimmed.contains("#[cfg(test)]") {
+            // Skip the attached item (a mod or fn block): advance to the end
+            // of the next brace-balanced block.
+            let mut depth = 0i32;
+            let mut started = false;
+            while i < lines.len() {
+                depth += lines[i].matches('{').count() as i32;
+                depth -= lines[i].matches('}').count() as i32;
+                if lines[i].contains('{') {
+                    started = true;
+                }
+                if started && depth <= 0 {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        if !trimmed.starts_with("//") && FORBIDDEN.iter().any(|f| trimmed.contains(f)) {
+            out.push((i + 1, trimmed.to_string()));
+        }
+        i += 1;
+    }
+    out
+}
+
+// --- Diagnostic-code doc check ----------------------------------------------
+
+fn doc_code_check(root: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    let path = root.join("DESIGN.md");
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    for (source, codes) in [
+        ("luna::analyze", luna::analyze::codes::ALL),
+        ("sycamore::lint", sycamore::lint::codes::ALL),
+    ] {
+        for code in codes {
+            if !text.contains(&format!("`{code}`")) {
+                failures.push(format!(
+                    "DESIGN.md: diagnostic code `{code}` ({source}) is undocumented"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_skips_comments_and_test_blocks() {
+        let src = "\
+fn a() {
+    let x = maybe().unwrap();
+}
+// commented.unwrap()
+#[cfg(test)]
+mod tests {
+    fn b() {
+        let y = maybe().unwrap();
+    }
+}
+fn c() {
+    other().expect(\"boom\");
+}
+";
+        let sites = scan_source(src);
+        let linenos: Vec<usize> = sites.iter().map(|(n, _)| *n).collect();
+        assert_eq!(linenos, vec![2, 12]);
+    }
+
+    #[test]
+    fn repo_passes_its_own_lint() {
+        lint(&repo_root()).expect("xtask lint must pass on the checked-in tree");
+    }
+}

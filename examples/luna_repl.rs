@@ -6,9 +6,11 @@
 //!   cargo run --example luna_repl -- "How many ..."  # one-shot question(s)
 //!
 //! Inside the loop, prefix a question with `explain ` to see the plan, the
-//! generated code, the optimizer notes, and the per-operator trace — or with
+//! generated code, the optimizer notes, and the per-operator trace — with
 //! `analyze ` for the EXPLAIN ANALYZE telemetry view (per-operator rows/LLM
-//! spend, planner/optimizer spans, trace fingerprint).
+//! spend, planner/optimizer spans, trace fingerprint) — or with `check ` to
+//! run the semantic plan analyzer and see its diagnostics interleaved with
+//! the generated code, without executing anything.
 
 use aryn::prelude::*;
 use luna::{earnings_schema, ntsb_schema};
@@ -49,7 +51,7 @@ fn main() -> aryn_core::Result<()> {
     }
 
     eprintln!(
-        "ask questions (\"explain <q>\" for the full trace, \"analyze <q>\" for telemetry, ctrl-d to exit):"
+        "ask questions (\"explain <q>\" for the full trace, \"analyze <q>\" for telemetry, \"check <q>\" for plan diagnostics, ctrl-d to exit):"
     );
     let stdin = std::io::stdin();
     loop {
@@ -66,9 +68,14 @@ fn main() -> aryn_core::Result<()> {
         if line == "quit" || line == "exit" {
             break;
         }
-        let (q, mode) = match (line.strip_prefix("explain "), line.strip_prefix("analyze ")) {
-            (Some(rest), _) => (rest, Mode::Explain),
-            (_, Some(rest)) => (rest, Mode::Analyze),
+        let (q, mode) = match (
+            line.strip_prefix("explain "),
+            line.strip_prefix("analyze "),
+            line.strip_prefix("check "),
+        ) {
+            (Some(rest), _, _) => (rest, Mode::Explain),
+            (_, Some(rest), _) => (rest, Mode::Analyze),
+            (_, _, Some(rest)) => (rest, Mode::Check),
             _ => (line, Mode::Answer),
         };
         if let Err(e) = run_question(&luna, q, mode) {
@@ -84,14 +91,28 @@ enum Mode {
     Answer,
     Explain,
     Analyze,
+    Check,
 }
 
 fn run_question(luna: &Luna, question: &str, mode: Mode) -> aryn_core::Result<()> {
+    if let Mode::Check = mode {
+        // Static analysis only: plan the question, run the analyzer, render
+        // the diagnostics against the generated code. Nothing executes.
+        let (plan, analysis) = luna.check(question)?;
+        println!("Q: {question}");
+        println!("{}", luna::codegen::to_python_annotated(&plan, &analysis));
+        if analysis.diagnostics.is_empty() {
+            println!("analyzer: plan is clean.\n");
+        } else {
+            println!("analyzer findings:\n{}", analysis.render());
+        }
+        return Ok(());
+    }
     let ans = luna.ask(question)?;
     match mode {
         Mode::Explain => println!("{}", ans.explain()),
         Mode::Analyze => println!("{}", ans.explain_analyze()),
-        Mode::Answer => {
+        Mode::Answer | Mode::Check => {
             println!("Q: {question}");
             println!("A: {}\n", ans.answer());
         }

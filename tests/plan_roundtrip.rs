@@ -37,8 +37,8 @@ fn plan_survives_a_trip_through_a_file() {
     let loaded = Plan::parse(&text).unwrap();
     assert_eq!(loaded, plan);
     // The reloaded plan executes identically.
-    let a = luna.execute(&luna.optimize(&plan).plan).unwrap();
-    let b = luna.execute(&luna.optimize(&loaded).plan).unwrap();
+    let a = luna.execute(&luna.optimize(&plan).unwrap().plan).unwrap();
+    let b = luna.execute(&luna.optimize(&loaded).unwrap().plan).unwrap();
     assert_eq!(a.answer, b.answer);
     let _ = std::fs::remove_file(&path);
 }
@@ -137,8 +137,8 @@ result = out_5
 #[test]
 fn optimizer_is_idempotent_on_its_own_output() {
     let (luna, plan) = planned_fixture();
-    let once = luna.optimize(&plan);
-    let twice = luna.optimize(&once.plan);
+    let once = luna.optimize(&plan).unwrap();
+    let twice = luna.optimize(&once.plan).unwrap();
     assert_eq!(once.plan, twice.plan, "optimizing an optimized plan is a no-op");
 }
 
