@@ -7,6 +7,7 @@
 //! malformed JSON with the lenient parser, re-asks with a fresh sample when
 //! repair fails, and records every call in a shared [`UsageMeter`].
 
+use crate::cache::{CacheKey, CacheStats, LlmCallCache};
 use crate::model::{LanguageModel, LlmRequest, Usage};
 use aryn_core::text::{count_tokens, truncate_tokens};
 use aryn_core::{json, ArynError, Result, Value};
@@ -116,6 +117,7 @@ pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
     meter: Arc<UsageMeter>,
     policy: RetryPolicy,
+    cache: Option<Arc<LlmCallCache>>,
 }
 
 impl LlmClient {
@@ -124,6 +126,7 @@ impl LlmClient {
             model,
             meter: UsageMeter::new(),
             policy: RetryPolicy::default(),
+            cache: None,
         }
     }
 
@@ -138,6 +141,16 @@ impl LlmClient {
         self
     }
 
+    /// Shares a call cache (see [`crate::cache`]). Only deterministic calls
+    /// are memoized — temperature 0, first logical attempt; re-ask samples
+    /// at raised temperature always reach the model. Cache hits do NOT bump
+    /// the meter: `UsageStats::calls` stays a count of real model calls, so
+    /// hit savings are directly visible in the metering.
+    pub fn with_cache(mut self, cache: Arc<LlmCallCache>) -> LlmClient {
+        self.cache = Some(cache);
+        self
+    }
+
     pub fn model_name(&self) -> &str {
         self.model.name()
     }
@@ -148,6 +161,15 @@ impl LlmClient {
 
     pub fn stats(&self) -> UsageStats {
         self.meter.snapshot()
+    }
+
+    pub fn cache(&self) -> Option<Arc<LlmCallCache>> {
+        self.cache.clone()
+    }
+
+    /// Cache counters (zeros when no cache is attached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Budget available for context text in a prompt whose fixed parts cost
@@ -185,8 +207,42 @@ impl LlmClient {
         temperature: f32,
         attempt_base: u32,
     ) -> Result<String> {
+        // Cacheability policy: temperature-0 first-attempt calls are pure
+        // functions of the prompt; re-asks (bumped attempt base, raised
+        // temperature) are deliberate fresh samples and must not be memoized.
+        let cacheable = temperature == 0.0 && attempt_base == 0;
+        if cacheable {
+            if let Some(cache) = &self.cache {
+                let key = CacheKey::for_call(self.model.name(), prompt, max_output, temperature);
+                let out = cache.get_or_compute(key, || {
+                    self.call_model(prompt, max_output, temperature, attempt_base)
+                })?;
+                if !out.hit {
+                    self.meter.record(&out.usage);
+                }
+                return Ok(out.text);
+            }
+        }
+        let (text, usage) = self.call_model(prompt, max_output, temperature, attempt_base)?;
+        self.meter.record(&usage);
+        Ok(text)
+    }
+
+    /// The raw transient-retry loop around the model, returning the text and
+    /// the (backoff-inclusive) usage of the successful attempt. Metering of
+    /// the successful call is the caller's job; transient failures are
+    /// metered here, where they happen.
+    fn call_model(
+        &self,
+        prompt: &str,
+        max_output: usize,
+        temperature: f32,
+        attempt_base: u32,
+    ) -> Result<(String, Usage)> {
         let mut last_err = None;
-        for attempt in 0..self.policy.max_transient {
+        // A policy of 0 transient retries still means one attempt: the model
+        // must be called at least once per logical request.
+        for attempt in 0..self.policy.max_transient.max(1) {
             let req = LlmRequest::new(prompt)
                 .with_max_tokens(max_output)
                 .with_temperature(temperature)
@@ -199,8 +255,7 @@ impl LlmClient {
                         usage.latency_ms +=
                             self.policy.backoff_base_ms * ((1 << (attempt - 1)) as f64);
                     }
-                    self.meter.record(&usage);
-                    return Ok(resp.text);
+                    return Ok((resp.text, usage));
                 }
                 Err(e @ ArynError::ContextOverflow { .. }) => return Err(e),
                 Err(e) => {
@@ -226,7 +281,7 @@ impl LlmClient {
         for reask in 0..=self.policy.max_reask {
             let temperature = if reask == 0 { 0.0 } else { 0.4 };
             let text = self.generate_at(prompt, max_output, temperature, attempt_base)?;
-            attempt_base += self.policy.max_transient;
+            attempt_base += self.policy.max_transient.max(1);
             if let Ok(v) = json::parse(&text) {
                 return Ok(v);
             }
@@ -351,6 +406,89 @@ mod tests {
         a.generate(&p, 32).unwrap();
         b.generate(&p, 32).unwrap();
         assert_eq!(meter.snapshot().calls, 2);
+    }
+
+    #[test]
+    fn zero_transient_budget_still_calls_model_once() {
+        // Regression: max_transient == 0 used to skip the model entirely and
+        // report Llm("exhausted retries") for a call that never happened.
+        let c = client(&GPT4_SIM, SimConfig::perfect(1)).with_policy(RetryPolicy {
+            max_transient: 0,
+            ..RetryPolicy::default()
+        });
+        let p = tasks::filter("mentions wind", "gusty wind all day");
+        let text = c.generate(&p, 64).unwrap();
+        assert!(!text.is_empty());
+        assert_eq!(c.stats().calls, 1);
+        assert_eq!(c.stats().retries, 0);
+    }
+
+    #[test]
+    fn cache_serves_repeat_calls_without_model_calls() {
+        let cache = Arc::new(crate::cache::LlmCallCache::with_capacity(32));
+        let c = client(&GPT4_SIM, SimConfig::perfect(1)).with_cache(Arc::clone(&cache));
+        let p = tasks::extract(&obj! { "city" => "string" }, "Happened near Denver, CO.");
+        let v1 = c.generate_json(&p, 256).unwrap();
+        let v2 = c.generate_json(&p, 256).unwrap();
+        assert_eq!(v1, v2);
+        // One real model call; the second was a hit and did not meter.
+        assert_eq!(c.stats().calls, 1);
+        let s = c.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.cost_saved_usd > 0.0);
+    }
+
+    /// A model that emits garbage at temperature 0 and valid JSON on the
+    /// re-ask sample, counting every call it receives.
+    struct ReaskModel {
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl LanguageModel for ReaskModel {
+        fn name(&self) -> &str {
+            "reask-sim"
+        }
+        fn context_window(&self) -> usize {
+            8192
+        }
+        fn generate(&self, req: &LlmRequest) -> Result<crate::model::LlmResponse> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let text = if req.temperature == 0.0 {
+                "total garbage ]] not json".to_string()
+            } else {
+                "{\"ok\": true}".to_string()
+            };
+            Ok(crate::model::LlmResponse {
+                text,
+                usage: Usage {
+                    input_tokens: 10,
+                    output_tokens: 5,
+                    cost_usd: 0.01,
+                    latency_ms: 1.0,
+                },
+                model: "reask-sim".to_string(),
+            })
+        }
+    }
+
+    #[test]
+    fn reask_samples_bypass_the_cache() {
+        let cache = Arc::new(crate::cache::LlmCallCache::with_capacity(32));
+        let c = LlmClient::new(Arc::new(ReaskModel {
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }))
+        .with_cache(Arc::clone(&cache));
+        let v = c.generate_json("prompt", 64).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        // Call 1: temp-0 garbage (cached as a miss+insert). Call 2: the
+        // temp-0.4 re-ask, never cached.
+        assert_eq!(cache.len(), 1);
+        let v = c.generate_json("prompt", 64).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let s = cache.stats();
+        // Second query hit the cached garbage, then re-asked the model again.
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert_eq!(c.stats().calls, 3, "temp0 + reask, then reask only");
     }
 
     #[test]

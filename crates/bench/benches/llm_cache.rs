@@ -1,0 +1,91 @@
+//! E13 — LLM call-cache effectiveness on a repeated-query workload.
+//!
+//! Runs the 18-question Luna suite twice in one Context with the
+//! content-addressed call cache enabled, then reports model calls per pass,
+//! the cache hit rate, and the simulated dollar/latency savings. The second
+//! pass models the common production pattern of analysts re-running a suite
+//! of dashboard queries over an unchanged lake.
+//!
+//! Run with: `cargo bench -p bench --bench llm_cache`
+
+use aryn::luna::bench18::{tally, Bench18, Bench18Cfg};
+use std::fmt::Write as _;
+
+fn main() {
+    println!("E13: LLM call-cache hit rate on a repeated 18-question suite\n");
+    let fixture = Bench18::build(Bench18Cfg {
+        call_cache: true,
+        ..Bench18Cfg::default()
+    })
+    .expect("fixture builds");
+
+    let base = fixture.luna.usage_stats();
+    let cache_base = fixture.luna.cache_stats();
+
+    let rows_cold = fixture.run().expect("cold pass executes");
+    let after_cold = fixture.luna.usage_stats();
+    let cold_calls = after_cold.since(&base).calls;
+
+    let rows_warm = fixture.run().expect("warm pass executes");
+    let after_warm = fixture.luna.usage_stats();
+    let warm_calls = after_warm.since(&after_cold).calls;
+
+    let cs = fixture.luna.cache_stats().since(&cache_base);
+    let saved_pct = if cold_calls > 0 {
+        100.0 * (cold_calls.saturating_sub(warm_calls)) as f64 / cold_calls as f64
+    } else {
+        0.0
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(report, "pass            model_calls");
+    let _ = writeln!(report, "cold (1st run)  {cold_calls:>11}");
+    let _ = writeln!(report, "warm (2nd run)  {warm_calls:>11}");
+    let _ = writeln!(report);
+    let _ = writeln!(report, "calls saved on warm pass: {saved_pct:.1}%");
+    let _ = writeln!(
+        report,
+        "cache: {} hits / {} misses / {} inserts / {} evictions / {} in-flight joins",
+        cs.hits, cs.misses, cs.inserts, cs.evictions, cs.dedup_joins
+    );
+    let _ = writeln!(report, "cache hit rate: {:.1}%", 100.0 * cs.hit_rate());
+    let _ = writeln!(
+        report,
+        "simulated savings: ${:.4}  {:.0} ms",
+        cs.cost_saved_usd, cs.latency_saved_ms
+    );
+    let (c, p, i) = tally(&rows_warm);
+    let _ = writeln!(report, "warm-pass tally: {c} correct / {p} plausible / {i} incorrect");
+    let drift = rows_cold
+        .iter()
+        .zip(&rows_warm)
+        .filter(|((_, a, _), (_, b, _))| a.answer() != b.answer())
+        .count();
+    let _ = writeln!(report, "answer drift cold vs warm: {drift} question(s)");
+    print!("{report}");
+
+    // Persist the table and the warm pass's telemetry spans under
+    // bench_results/ so the hit rate is a tracked artifact.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create bench_results/: {e}");
+    } else {
+        let path = dir.join("llm_cache.txt");
+        match std::fs::write(&path, &report) {
+            Ok(()) => println!("\nreport exported to {}", path.display()),
+            Err(e) => eprintln!("report export failed: {e}"),
+        }
+    }
+    let mut spans = Vec::new();
+    for (_, a, _) in &rows_warm {
+        spans.extend(a.trace.spans.iter().cloned());
+    }
+    let trace = aryn::aryn_telemetry::Trace {
+        label: "llm_cache".into(),
+        spans,
+    };
+    match bench::export_trace("llm_cache", &trace) {
+        Ok(p) => println!("trace exported to {}", p.display()),
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
+}

@@ -104,6 +104,8 @@ pub struct Bench18Cfg {
     /// Simulation config for ingestion and querying.
     pub sim: SimConfig,
     pub detector: aryn_partitioner::Detector,
+    /// Enable Luna's shared LLM call cache (repeated-query workloads).
+    pub call_cache: bool,
 }
 
 impl Default for Bench18Cfg {
@@ -114,6 +116,7 @@ impl Default for Bench18Cfg {
             n_earnings: 48,
             sim: SimConfig::with_seed(42),
             detector: aryn_partitioner::Detector::DetrSim,
+            call_cache: false,
         }
     }
 }
@@ -146,6 +149,7 @@ impl Bench18 {
             &["ntsb", "earnings"],
             LunaConfig {
                 sim: cfg.sim,
+                call_cache: cfg.call_cache,
                 ..LunaConfig::default()
             },
         )?;

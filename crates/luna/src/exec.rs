@@ -66,6 +66,10 @@ pub struct NodeTrace {
     /// Completion tokens produced by this node's LLM calls.
     pub output_tokens: u64,
     pub cost_usd: f64,
+    /// Call-cache hits during this node (0 when no cache is attached).
+    pub cache_hits: u64,
+    /// Simulated dollars those cache hits would have cost.
+    pub cost_saved_usd: f64,
     /// Up to three sample row ids (provenance peek).
     pub sample_ids: Vec<String>,
     /// Scalar output, if the node produced one.
@@ -101,6 +105,14 @@ impl LunaResult {
 
     pub fn total_retries(&self) -> u64 {
         self.traces.iter().map(|t| t.retries).sum()
+    }
+
+    pub fn total_cache_hits(&self) -> u64 {
+        self.traces.iter().map(|t| t.cache_hits).sum()
+    }
+
+    pub fn total_cost_saved_usd(&self) -> f64 {
+        self.traces.iter().map(|t| t.cost_saved_usd).sum()
     }
 
     /// Renders the execution history as a table (the debugging view §6.1).
@@ -183,6 +195,7 @@ impl PlanExecutor {
             let node = plan.node(id).expect("topo ids exist");
             let start = Instant::now();
             let before = self.meter_snapshot();
+            let cache_before = self.cache_snapshot();
             let inputs: Vec<&NodeOutput> = node
                 .inputs
                 .iter()
@@ -191,6 +204,7 @@ impl PlanExecutor {
             let rows_in = inputs.iter().map(|o| o.len()).sum();
             let out = self.run_node(&node.op, &inputs, &outputs)?;
             let delta = self.meter_snapshot().since(&before);
+            let cache_delta = self.cache_snapshot().since(&cache_before);
             let trace = NodeTrace {
                 node_id: id,
                 op_kind: node.op.kind().to_string(),
@@ -203,6 +217,8 @@ impl PlanExecutor {
                 input_tokens: delta.usage.input_tokens as u64,
                 output_tokens: delta.usage.output_tokens as u64,
                 cost_usd: delta.usage.cost_usd,
+                cache_hits: cache_delta.hits,
+                cost_saved_usd: cache_delta.cost_saved_usd,
                 sample_ids: out
                     .rows()
                     .map(|r| r.iter().take(3).map(|d| d.id.0.clone()).collect())
@@ -263,6 +279,24 @@ impl PlanExecutor {
         Ok(())
     }
 
+    /// Combined call-cache snapshot across the default client and all pinned
+    /// model clients, deduplicated by cache identity (Luna shares one cache
+    /// across all of them).
+    fn cache_snapshot(&self) -> aryn_llm::CacheStats {
+        let mut seen: Vec<*const aryn_llm::LlmCallCache> = Vec::new();
+        let mut total = aryn_llm::CacheStats::default();
+        for client in std::iter::once(&self.client).chain(self.model_clients.values()) {
+            if let Some(cache) = client.cache() {
+                let ptr = std::sync::Arc::as_ptr(&cache);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    total.merge(&cache.stats());
+                }
+            }
+        }
+        total
+    }
+
     /// Combined snapshot across the default client and all pinned model
     /// clients, deduplicated by meter identity.
     fn meter_snapshot(&self) -> UsageStats {
@@ -295,6 +329,14 @@ impl PlanExecutor {
             .set("llm_output_tokens", t.output_tokens)
             .gauge("wall_ms", t.wall_ms)
             .gauge("llm_cost_usd", t.cost_usd);
+        // Only when nonzero, so cache-off traces keep their historical
+        // fingerprints (counters feed the fingerprint; gauges do not).
+        if t.cache_hits > 0 {
+            span.set("llm_cache_hits", t.cache_hits);
+        }
+        if t.cost_saved_usd > 0.0 {
+            span.gauge("llm_cost_saved_usd", t.cost_saved_usd);
+        }
         span.finish();
     }
 

@@ -9,7 +9,7 @@ use crate::planner::{PlannerEngine, RulePlanner};
 use crate::schema::IndexSchema;
 use aryn_core::{ArynError, Result, Severity, Value};
 use aryn_llm::prompt::tasks;
-use aryn_llm::{LlmClient, MockLlm, ModelSpec, SimConfig, TaskEngine};
+use aryn_llm::{CacheStats, LlmCallCache, LlmClient, MockLlm, ModelSpec, SimConfig, TaskEngine, UsageStats};
 use aryn_telemetry::{Telemetry, Trace};
 use std::sync::Arc;
 
@@ -28,6 +28,17 @@ pub struct LunaConfig {
     /// (defaults to [`PlannerEngine`] over the discovered schemas). Tests
     /// inject engines here to exercise the repair loop.
     pub planner_engine: Option<Box<dyn TaskEngine>>,
+    /// Enable the content-addressed LLM call cache ([`aryn_llm::cache`]):
+    /// one cache shared by the planner, the default execution client, and
+    /// every pinned model client, so repeated questions in a session reuse
+    /// identical temperature-0 completions. Off by default (call counts stay
+    /// exact for tests and benchmarks that pin them).
+    pub call_cache: bool,
+    /// In-memory entry bound for the call cache (LRU beyond this).
+    pub call_cache_capacity: usize,
+    /// Optional JSONL disk tier directory (conventionally the lake dir):
+    /// entries persist across Luna instances and processes.
+    pub call_cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for LunaConfig {
@@ -39,6 +50,9 @@ impl Default for LunaConfig {
             optimizer: OptimizerCfg::default(),
             max_replan: 3,
             planner_engine: None,
+            call_cache: false,
+            call_cache_capacity: 4096,
+            call_cache_dir: None,
         }
     }
 }
@@ -50,6 +64,8 @@ pub struct Luna {
     executor: PlanExecutor,
     optimizer: OptimizerCfg,
     max_replan: u32,
+    /// The shared call cache, when `LunaConfig::call_cache` is on.
+    call_cache: Option<Arc<LlmCallCache>>,
 }
 
 impl Luna {
@@ -66,16 +82,33 @@ impl Luna {
         let engine = cfg.planner_engine.unwrap_or_else(|| {
             Box::new(PlannerEngine::new(RulePlanner::new(schemas.clone())))
         });
+        // One call cache shared by every client Luna owns, so any operator
+        // (or the planner) repeating an identical temperature-0 call hits it.
+        let call_cache: Option<Arc<LlmCallCache>> = if cfg.call_cache {
+            let cache = LlmCallCache::with_capacity(cfg.call_cache_capacity);
+            let cache = match &cfg.call_cache_dir {
+                Some(dir) => cache.with_disk(dir)?,
+                None => cache,
+            };
+            Some(Arc::new(cache))
+        } else {
+            None
+        };
+        let attach = |client: LlmClient| match &call_cache {
+            Some(cache) => client.with_cache(Arc::clone(cache)),
+            None => client,
+        };
         let planner_llm = MockLlm::new(cfg.planner_model, cfg.sim.clone()).with_engine(engine);
-        let planner_client = LlmClient::new(Arc::new(planner_llm)).with_policy(
+        let planner_client = attach(LlmClient::new(Arc::new(planner_llm)).with_policy(
             aryn_llm::RetryPolicy {
                 max_reask: 4,
                 ..aryn_llm::RetryPolicy::default()
             },
-        );
+        ));
         // Execution clients: default plus one per catalogue model, so the
         // optimizer's routing decisions have real endpoints.
-        let exec_client = LlmClient::new(Arc::new(MockLlm::new(cfg.exec_model, cfg.sim.clone())));
+        let exec_client =
+            attach(LlmClient::new(Arc::new(MockLlm::new(cfg.exec_model, cfg.sim.clone()))));
         // Pay-as-you-go knowledge graph over the ingested stores (§7): built
         // from extracted properties, merged across indexes.
         let mut graph = aryn_index::GraphStore::new();
@@ -90,7 +123,7 @@ impl Luna {
         for spec in aryn_llm::ALL_MODELS {
             executor = executor.with_model(
                 spec.name,
-                LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone()))),
+                attach(LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone())))),
             );
         }
         Ok(Luna {
@@ -99,6 +132,7 @@ impl Luna {
             executor,
             optimizer: cfg.optimizer,
             max_replan: cfg.max_replan,
+            call_cache,
         })
     }
 
@@ -328,6 +362,37 @@ impl Luna {
         }
         c
     }
+
+    /// Aggregate usage across the planner and every execution client,
+    /// deduplicated by meter identity. `calls` counts real model calls only
+    /// (cache hits never meter), so call-count deltas between runs measure
+    /// what the cache saved.
+    pub fn usage_stats(&self) -> UsageStats {
+        let mut seen: Vec<*const aryn_llm::UsageMeter> = Vec::new();
+        let mut total = UsageStats::default();
+        let clients = std::iter::once(&self.planner_client)
+            .chain(std::iter::once(&self.executor.client))
+            .chain(self.executor.model_clients.values());
+        for client in clients {
+            let meter = client.meter();
+            let ptr = Arc::as_ptr(&meter);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                total.merge(&meter.snapshot());
+            }
+        }
+        total
+    }
+
+    /// Counters of the shared call cache (zeros when the cache is off).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.call_cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// The shared call cache, when enabled.
+    pub fn call_cache(&self) -> Option<Arc<LlmCallCache>> {
+        self.call_cache.clone()
+    }
 }
 
 /// Everything Luna can tell you about one question.
@@ -386,6 +451,12 @@ impl LunaAnswer {
                     t.llm_calls, t.input_tokens, t.output_tokens, t.retries, t.cost_usd
                 ));
             }
+            if t.cache_hits > 0 {
+                out.push_str(&format!(
+                    "  cache: {} hits  ${:.4} saved\n",
+                    t.cache_hits, t.cost_saved_usd
+                ));
+            }
         }
         if let Some(p) = self.trace.spans_of_kind("planner").first() {
             out.push_str(&format!(
@@ -413,6 +484,13 @@ impl LunaAnswer {
             self.result.total_cost(),
             self.trace.fingerprint()
         ));
+        if self.result.total_cache_hits() > 0 {
+            out.push_str(&format!(
+                "cache: {} hits  ${:.4} saved\n",
+                self.result.total_cache_hits(),
+                self.result.total_cost_saved_usd()
+            ));
+        }
         out
     }
 }

@@ -11,12 +11,12 @@ use crate::op::Op;
 use crate::stats::{ExecStats, StageStats};
 use crate::transforms;
 use aryn_core::{stable_hash, ArynError, Document, Result};
-use aryn_llm::UsageStats;
+use aryn_llm::{CacheStats, UsageStats};
 use aryn_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
 /// Combined meter snapshot of every LLM client held by `ops`, deduplicated
@@ -33,6 +33,27 @@ fn llm_snapshot(ops: &[Op]) -> UsageStats {
             if !seen.contains(&ptr) {
                 seen.push(ptr);
                 total.merge(&meter.snapshot());
+            }
+        }
+    }
+    total
+}
+
+/// Combined call-cache snapshot of every client held by `ops`, deduplicated
+/// by cache identity (clients typically share one cache per Context/Luna).
+/// Taken before and after a stage, the difference attributes cache hits and
+/// saved cost to that stage.
+fn cache_snapshot(ops: &[Op]) -> CacheStats {
+    let mut seen: Vec<*const aryn_llm::LlmCallCache> = Vec::new();
+    let mut total = CacheStats::default();
+    for op in ops {
+        for client in op.clients() {
+            if let Some(cache) = client.cache() {
+                let ptr = Arc::as_ptr(&cache);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    total.merge(&cache.stats());
+                }
             }
         }
     }
@@ -65,8 +86,17 @@ fn record_stage_span(
     if stage.cache_hit {
         span.set("cache_hit", 1);
     }
+    // Hit totals are schedule-independent (hits = cacheable lookups − unique
+    // computes), so they may feed the fingerprint; only set when nonzero so
+    // cache-off traces keep their historical fingerprints.
+    if stage.llm_cache_hits > 0 {
+        span.set("llm_cache_hits", stage.llm_cache_hits);
+    }
     span.gauge("wall_ms", stage.wall_ms)
         .gauge("llm_cost_usd", stage.llm_cost_usd);
+    if stage.llm_cost_saved_usd > 0.0 {
+        span.gauge("llm_cost_saved_usd", stage.llm_cost_saved_usd);
+    }
     if let Some(workers) = worker_docs {
         span.gauge("workers", workers.len() as f64);
         for (w, n) in workers.iter().enumerate() {
@@ -115,10 +145,13 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
         if ops[i].is_barrier() {
             let op_slice = std::slice::from_ref(&ops[i]);
             let before = llm_snapshot(op_slice);
+            let cache_before = cache_snapshot(op_slice);
             let start = Instant::now();
             let rows_in = docs.len();
-            docs = apply_barrier(ctx, &ops[i], docs)?;
+            let (new_docs, barrier_failed) = apply_barrier(ctx, &ops[i], docs)?;
+            docs = new_docs;
             let delta = llm_snapshot(op_slice).since(&before);
+            let cache_delta = cache_snapshot(op_slice).since(&cache_before);
             let stage = StageStats {
                 name: ops[i].name(),
                 rows_in,
@@ -128,11 +161,15 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 // work (e.g. summarize_all's hierarchical batches) can retry;
                 // the meter delta is the real count.
                 retries: delta.retries as usize,
-                failed_docs: 0,
+                // Inner per-batch failures (summarize_all with skip_failures)
+                // surface here as dropped source documents.
+                failed_docs: barrier_failed,
                 llm_calls: delta.calls,
                 llm_input_tokens: delta.usage.input_tokens as u64,
                 llm_output_tokens: delta.usage.output_tokens as u64,
                 llm_cost_usd: delta.usage.cost_usd,
+                llm_cache_hits: cache_delta.hits,
+                llm_cost_saved_usd: cache_delta.cost_saved_usd,
                 cache_hit: false,
             };
             record_stage_span(&tel, &stage, &delta, None);
@@ -146,11 +183,13 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
             }
             let segment = &ops[i..j];
             let before = llm_snapshot(segment);
+            let cache_before = cache_snapshot(segment);
             let start = Instant::now();
             let rows_in = docs.len();
             let outcome = run_segment(ctx, segment, docs)?;
             docs = outcome.docs;
             let delta = llm_snapshot(segment).since(&before);
+            let cache_delta = cache_snapshot(segment).since(&cache_before);
             let stage = StageStats {
                 name: segment
                     .iter()
@@ -166,6 +205,8 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 llm_input_tokens: delta.usage.input_tokens as u64,
                 llm_output_tokens: delta.usage.output_tokens as u64,
                 llm_cost_usd: delta.usage.cost_usd,
+                llm_cache_hits: cache_delta.hits,
+                llm_cost_saved_usd: cache_delta.cost_saved_usd,
                 cache_hit: false,
             };
             record_stage_span(&tel, &stage, &delta, Some(&outcome.worker_docs));
@@ -184,14 +225,19 @@ fn resolve_source(ctx: &Context, source: &Source) -> Result<Vec<Document>> {
             let entries = lake
                 .get(name)
                 .ok_or_else(|| ArynError::Index(format!("unknown lake {name:?}")))?;
-            Ok(entries
+            let mut docs: Vec<Document> = entries
                 .iter()
                 .map(|(id, raw)| {
                     let mut d = Document::from_text(id.clone(), raw.full_text());
                     d.set_prop("lake", name.as_str());
                     d
                 })
-                .collect())
+                .collect();
+            // Scan order must not depend on ingest interleaving: sort by doc
+            // id so runs, materialize fingerprints, and the differential
+            // harness are reproducible.
+            docs.sort_by(|a, b| a.id.as_str().cmp(b.id.as_str()));
+            Ok(docs)
         }
         Source::Store(name) => {
             ctx.with_store(name, |s| s.scan().cloned().collect::<Vec<_>>())
@@ -330,6 +376,21 @@ struct Task {
     doc: Document,
 }
 
+/// Shared state of the worker pool: the pending queue and the count of
+/// completed tasks, guarded by one `std` mutex so idle workers can park on
+/// the paired condvar (the vendored `parking_lot` has no `Condvar`).
+struct PoolState {
+    queue: VecDeque<Task>,
+    done: usize,
+}
+
+/// `std` mutex lock that shrugs off poisoning: a panicked worker already
+/// surfaces as an execution error via the crossbeam scope, so survivors may
+/// keep draining what state remains.
+fn pool_lock<'a>(m: &'a StdMutex<PoolState>) -> std::sync::MutexGuard<'a, PoolState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn run_segment_parallel(
     ctx: &Context,
     segment: &[Op],
@@ -342,13 +403,20 @@ fn run_segment_parallel(
         .collect::<Vec<_>>()
         .join(",");
     let n = docs.len();
-    let queue: Mutex<VecDeque<Task>> = Mutex::new(
-        docs.into_iter()
+    let state: StdMutex<PoolState> = StdMutex::new(PoolState {
+        queue: docs
+            .into_iter()
             .enumerate()
             .map(|(index, doc)| Task { index, doc })
             .collect(),
-    );
-    let done = AtomicUsize::new(0);
+        done: 0,
+    });
+    // Signals idle workers when the pool drains. No tasks are ever added
+    // after start, so the only event a parked worker needs is completion —
+    // a condvar wait instead of the old `yield_now()` spin, which burned
+    // cores exactly when long calls (or single-flight cache waits) kept the
+    // queue empty for a while.
+    let drained = Condvar::new();
     let retries_total = AtomicUsize::new(0);
     let worker_counts: Vec<AtomicUsize> = (0..cfg.threads).map(|_| AtomicUsize::new(0)).collect();
     // Slot per input document: output docs or terminal error.
@@ -356,28 +424,43 @@ fn run_segment_parallel(
 
     crossbeam::thread::scope(|scope| {
         for w in 0..cfg.threads {
-            let queue = &queue;
+            let state = &state;
+            let drained = &drained;
             let results = &results;
-            let done = &done;
             let retries_total = &retries_total;
             let worker_counts = &worker_counts;
             let tag = &tag;
             scope.spawn(move |_| loop {
-                let task = queue.lock().pop_front();
+                let task = {
+                    let mut g = pool_lock(state);
+                    loop {
+                        if let Some(t) = g.queue.pop_front() {
+                            break Some(t);
+                        }
+                        if g.done >= n {
+                            break None;
+                        }
+                        g = drained
+                            .wait(g)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                };
                 match task {
                     Some(Task { index, doc }) => {
                         let (res, r) = process_doc(ctx, segment, tag, doc);
                         retries_total.fetch_add(r, Ordering::Relaxed);
                         worker_counts[w].fetch_add(1, Ordering::Relaxed);
                         results.lock()[index] = Some(res);
-                        done.fetch_add(1, Ordering::Release);
-                    }
-                    None => {
-                        if done.load(Ordering::Acquire) >= n {
-                            break;
+                        let finished = {
+                            let mut g = pool_lock(state);
+                            g.done += 1;
+                            g.done >= n
+                        };
+                        if finished {
+                            drained.notify_all();
                         }
-                        std::thread::yield_now();
                     }
+                    None => break,
                 }
             });
         }
@@ -406,22 +489,29 @@ fn run_segment_parallel(
     })
 }
 
-fn apply_barrier(ctx: &Context, op: &Op, docs: Vec<Document>) -> Result<Vec<Document>> {
+/// Applies one barrier op, returning the new collection plus the number of
+/// source documents dropped by inner failures (summarize_all batches).
+fn apply_barrier(ctx: &Context, op: &Op, docs: Vec<Document>) -> Result<(Vec<Document>, usize)> {
     match op {
-        Op::ReduceByKey { key, aggs } => Ok(transforms::reduce_by_key(docs, key, aggs)),
-        Op::SortBy { path, descending } => Ok(transforms::sort_by(docs, path, *descending)),
+        Op::ReduceByKey { key, aggs } => Ok((transforms::reduce_by_key(docs, key, aggs), 0)),
+        Op::SortBy { path, descending } => Ok((transforms::sort_by(docs, path, *descending), 0)),
         Op::Limit(n) => {
             let mut d = docs;
             d.truncate(*n);
-            Ok(d)
+            Ok((d, 0))
         }
         Op::SummarizeAll {
             client,
             instructions,
-        } => Ok(vec![transforms::summarize_all(client, instructions, &docs)?]),
+        } => {
+            let skip = ctx.exec_config().skip_failures;
+            let (doc, failed) =
+                transforms::summarize_all_stats(client, instructions, &docs, skip)?;
+            Ok((vec![doc], failed))
+        }
         Op::Materialize { name, dir } => {
             transforms::materialize(ctx, name, dir.as_deref(), &docs)?;
-            Ok(docs)
+            Ok((docs, 0))
         }
         other => Err(ArynError::Exec(format!(
             "{} is not a barrier op",

@@ -25,6 +25,12 @@ pub struct StageStats {
     pub llm_output_tokens: u64,
     /// Simulated dollar cost of those completions.
     pub llm_cost_usd: f64,
+    /// Call-cache hits (lookups served without a model call, including
+    /// single-flight joins) while this stage ran. Zero when no call cache is
+    /// attached to the stage's clients.
+    pub llm_cache_hits: u64,
+    /// Simulated dollars those cache hits would have cost.
+    pub llm_cost_saved_usd: f64,
     /// True if this stage was served from a materialize cache instead of
     /// being recomputed.
     pub cache_hit: bool,
@@ -64,21 +70,30 @@ impl ExecStats {
         self.stages.iter().map(|s| s.llm_cost_usd).sum()
     }
 
+    pub fn total_llm_cache_hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.llm_cache_hits).sum()
+    }
+
+    pub fn total_llm_cost_saved_usd(&self) -> f64 {
+        self.stages.iter().map(|s| s.llm_cost_saved_usd).sum()
+    }
+
     /// Renders a compact table for traces and debugging.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "stage                          rows_in  rows_out  retries  failed  llm_calls    tokens\n",
+            "stage                          rows_in  rows_out  retries  failed  llm_calls    tokens  cache_hits\n",
         );
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<30} {:>7}  {:>8}  {:>7}  {:>6}  {:>9}  {:>8}\n",
+                "{:<30} {:>7}  {:>8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>10}\n",
                 s.name,
                 s.rows_in,
                 s.rows_out,
                 s.retries,
                 s.failed_docs,
                 s.llm_calls,
-                s.llm_input_tokens + s.llm_output_tokens
+                s.llm_input_tokens + s.llm_output_tokens,
+                s.llm_cache_hits
             ));
         }
         out
@@ -104,6 +119,8 @@ mod tests {
                     llm_input_tokens: 500,
                     llm_output_tokens: 50,
                     llm_cost_usd: 0.02,
+                    llm_cache_hits: 3,
+                    llm_cost_saved_usd: 0.005,
                     cache_hit: false,
                 },
                 StageStats {
@@ -121,6 +138,8 @@ mod tests {
         assert_eq!(stats.total_llm_calls(), 10);
         assert_eq!(stats.total_llm_tokens(), 550);
         assert!((stats.total_llm_cost_usd() - 0.02).abs() < 1e-12);
+        assert_eq!(stats.total_llm_cache_hits(), 3);
+        assert!((stats.total_llm_cost_saved_usd() - 0.005).abs() < 1e-12);
         let r = stats.render();
         assert!(r.contains("filter(x)"));
         assert!(r.contains("550"));

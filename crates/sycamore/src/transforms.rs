@@ -441,18 +441,39 @@ pub fn summarize_all(
     instructions: &str,
     docs: &[Document],
 ) -> Result<Document> {
-    let mut pieces: Vec<String> = docs
+    Ok(summarize_all_stats(client, instructions, docs, false)?.0)
+}
+
+/// [`summarize_all`] with failure accounting: returns the summary document
+/// plus the number of *source documents* whose content was dropped because a
+/// batch summarization failed permanently. With `skip_failures` false any
+/// batch failure aborts (the historical behaviour); with it true, failed
+/// batches are dropped and their source-document weight is reported — so a
+/// barrier stage's `failed_docs` reflects inner per-batch failures instead of
+/// hardcoding zero.
+pub fn summarize_all_stats(
+    client: &LlmClient,
+    instructions: &str,
+    docs: &[Document],
+    skip_failures: bool,
+) -> Result<(Document, usize)> {
+    // Each piece carries the number of source documents it represents, so a
+    // dropped batch in round 3 still counts the right number of documents.
+    let mut pieces: Vec<(String, usize)> = docs
         .iter()
         .map(|d| {
             // Prefer an existing summary property; else lead text.
-            d.prop("summary")
+            let text = d
+                .prop("summary")
                 .and_then(Value::as_str)
                 .map(str::to_string)
                 .unwrap_or_else(|| {
                     aryn_core::text::truncate_tokens(&d.full_text(), 120).to_string()
-                })
+                });
+            (text, 1)
         })
         .collect();
+    let mut failed_weight = 0usize;
     let mut rounds = 0;
     while pieces.len() > 1 {
         rounds += 1;
@@ -460,47 +481,74 @@ pub fn summarize_all(
             return Err(ArynError::Exec("summarize_all failed to converge".into()));
         }
         let budget = client.context_budget(96, 256).max(256);
-        let mut batches: Vec<String> = Vec::new();
+        let mut batches: Vec<(String, usize)> = Vec::new();
         let mut cur = String::new();
-        for p in &pieces {
+        let mut cur_weight = 0usize;
+        for (p, w) in &pieces {
             let candidate_len =
                 aryn_core::text::count_tokens(&cur) + aryn_core::text::count_tokens(p) + 2;
             if !cur.is_empty() && candidate_len > budget {
-                batches.push(std::mem::take(&mut cur));
+                batches.push((std::mem::take(&mut cur), cur_weight));
+                cur_weight = 0;
             }
             if !cur.is_empty() {
                 cur.push_str("\n\n");
             }
             cur.push_str(aryn_core::text::truncate_tokens(p, budget.saturating_sub(8)));
+            cur_weight += w;
         }
         if !cur.is_empty() {
-            batches.push(cur);
+            batches.push((cur, cur_weight));
         }
-        let mut next = Vec::with_capacity(batches.len());
-        for b in &batches {
+        let n_batches = batches.len();
+        let mut next: Vec<(String, usize)> = Vec::with_capacity(n_batches);
+        for (b, w) in &batches {
             let prompt = client.fit_prompt(b, 256, |ctx| tasks::summarize(instructions, ctx));
-            let v = client.generate_json(&prompt, 256)?;
-            next.push(
-                v.get("summary")
-                    .and_then(Value::as_str)
-                    .unwrap_or("")
-                    .to_string(),
-            );
+            match client.generate_json(&prompt, 256) {
+                Ok(v) => next.push((
+                    v.get("summary")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    *w,
+                )),
+                Err(e) => {
+                    if !skip_failures {
+                        return Err(e);
+                    }
+                    failed_weight += w;
+                }
+            }
+        }
+        if next.is_empty() {
+            // Every batch of a round failed: nothing left to summarize.
+            return Err(ArynError::Exec(format!(
+                "summarize_all: all {n_batches} batch(es) failed in round {rounds}"
+            )));
         }
         if next.len() >= pieces.len() && pieces.len() > 1 {
             // No progress (pathologically small budget): force-merge.
-            next = vec![next.join(" ")];
+            let weight: usize = next.iter().map(|(_, w)| w).sum();
+            let merged = next
+                .iter()
+                .map(|(s, _)| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            next = vec![(merged, weight)];
         }
         pieces = next;
     }
     let mut doc = Document::new("summary");
-    doc.set_prop("summary", pieces.pop().unwrap_or_default());
+    doc.set_prop(
+        "summary",
+        pieces.pop().map(|(s, _)| s).unwrap_or_default(),
+    );
     doc.set_prop("source_count", docs.len() as i64);
     doc.lineage.push(
         LineageRecord::new("summarize_all", instructions.to_string())
             .with_sources(docs.iter().map(|d| d.id.0.clone()).collect()),
     );
-    Ok(doc)
+    Ok((doc, failed_weight))
 }
 
 /// Materializes documents: cached in memory under `name`, optionally spilled

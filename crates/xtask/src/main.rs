@@ -8,7 +8,11 @@
 //!    examples are exempt, and pre-existing sites are grandfathered by the
 //!    per-file budgets in `crates/xtask/lint-allow.txt` (shrink a budget when
 //!    you remove a site; never grow one).
-//! 2. **Diagnostic-code doc check.** Every analyzer code
+//! 2. **Raw model-call scan.** Outside `aryn-llm` itself, library code must
+//!    not call `model.generate(` directly — every completion goes through
+//!    the metered, retrying, cache-aware [`aryn_llm::LlmClient`], or the
+//!    usage meters, retry policy, and call cache silently under-count.
+//! 3. **Diagnostic-code doc check.** Every analyzer code
 //!    ([`luna::analyze::codes::ALL`]) and pipeline lint code
 //!    ([`sycamore::lint::codes::ALL`]) must be documented in `DESIGN.md`.
 
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
 fn lint(root: &Path) -> Result<(), String> {
     let mut failures = Vec::new();
     forbidden_call_scan(root, &mut failures)?;
+    model_call_scan(root, &mut failures)?;
     doc_code_check(root, &mut failures)?;
     if failures.is_empty() {
         println!("xtask lint: ok");
@@ -131,13 +136,22 @@ fn scan_dir(
     root: &Path,
     counts: &mut BTreeMap<String, Vec<(usize, String)>>,
 ) -> Result<(), String> {
+    scan_dir_for(dir, root, FORBIDDEN, counts)
+}
+
+fn scan_dir_for(
+    dir: &Path,
+    root: &Path,
+    patterns: &[&str],
+    counts: &mut BTreeMap<String, Vec<(usize, String)>>,
+) -> Result<(), String> {
     let Ok(entries) = fs::read_dir(dir) else {
         return Ok(()); // crates without src/ (none today) are fine
     };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            scan_dir(&path, root, counts)?;
+            scan_dir_for(&path, root, patterns, counts)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             let text = fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -146,7 +160,7 @@ fn scan_dir(
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            for site in scan_source(&text) {
+            for site in scan_source_for(&text, patterns) {
                 counts.entry(rel.clone()).or_default().push(site);
             }
         }
@@ -154,9 +168,42 @@ fn scan_dir(
     Ok(())
 }
 
-/// Returns (1-based line, trimmed text) for each forbidden call outside
-/// comments and `#[cfg(test)]` blocks.
-fn scan_source(text: &str) -> Vec<(usize, String)> {
+// --- Raw model-call scan ----------------------------------------------------
+
+/// Outside aryn-llm, `model.generate(` is always a bug: it bypasses the
+/// usage meter, the retry policy, and the call cache. There is no budget and
+/// no allowlist — route the call through `LlmClient`.
+fn model_call_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    let mut counts: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot list {}: {e}", crates.display()))?;
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        // aryn-llm is the one place allowed to talk to models; xtask holds
+        // the pattern as a string literal.
+        if dir
+            .file_name()
+            .is_some_and(|n| n == "xtask" || n == "aryn-llm")
+        {
+            continue;
+        }
+        scan_dir_for(&dir.join("src"), root, &["model.generate("], &mut counts)?;
+    }
+    for (file, sites) in &counts {
+        for (lineno, line) in sites {
+            failures.push(format!(
+                "{file}:{lineno}: direct model call outside aryn-llm: {line} — \
+                 go through the metered/cached aryn_llm::LlmClient instead"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Returns (1-based line, trimmed text) for each line containing one of
+/// `patterns` outside comments and `#[cfg(test)]` blocks.
+fn scan_source_for(text: &str, patterns: &[&str]) -> Vec<(usize, String)> {
     let lines: Vec<&str> = text.lines().collect();
     let mut out = Vec::new();
     let mut i = 0;
@@ -181,7 +228,7 @@ fn scan_source(text: &str) -> Vec<(usize, String)> {
             i += 1;
             continue;
         }
-        if !trimmed.starts_with("//") && FORBIDDEN.iter().any(|f| trimmed.contains(f)) {
+        if !trimmed.starts_with("//") && patterns.iter().any(|f| trimmed.contains(f)) {
             out.push((i + 1, trimmed.to_string()));
         }
         i += 1;
@@ -231,9 +278,28 @@ fn c() {
     other().expect(\"boom\");
 }
 ";
-        let sites = scan_source(src);
+        let sites = scan_source_for(src, FORBIDDEN);
         let linenos: Vec<usize> = sites.iter().map(|(n, _)| *n).collect();
         assert_eq!(linenos, vec![2, 12]);
+    }
+
+    #[test]
+    fn model_call_pattern_is_detected() {
+        let src = "\
+fn call() {
+    let r = self.model.generate(&req);
+}
+// comment: model.generate( is fine here
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let r = model.generate(&req);
+    }
+}
+";
+        let sites = scan_source_for(src, &["model.generate("]);
+        let linenos: Vec<usize> = sites.iter().map(|(n, _)| *n).collect();
+        assert_eq!(linenos, vec![2]);
     }
 
     #[test]
