@@ -7,6 +7,8 @@
 
 use aryn_core::{ArynError, Document, Result, Value};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 /// A structured predicate over document properties.
 ///
@@ -94,6 +96,14 @@ impl Predicate {
 #[derive(Debug, Default)]
 pub struct DocStore {
     docs: BTreeMap<String, Document>,
+    /// Memoized [`DocStore::schema`] result. Planners re-discover the index
+    /// schema on every question, and a discovery walks every property of
+    /// every document — so the walk is done once and invalidated on
+    /// `put`/`delete` instead of repeated per call.
+    schema_cache: RwLock<Option<BTreeMap<String, (String, usize)>>>,
+    /// Full corpus walks performed by `schema()` (cache misses) — observable
+    /// via [`DocStore::schema_scan_count`] so tests can pin rescan behaviour.
+    schema_scans: AtomicUsize,
 }
 
 impl DocStore {
@@ -112,6 +122,7 @@ impl DocStore {
     /// Inserts or replaces a document.
     pub fn put(&mut self, doc: Document) {
         self.docs.insert(doc.id.0.clone(), doc);
+        self.invalidate_schema();
     }
 
     pub fn get(&self, id: &str) -> Option<&Document> {
@@ -119,7 +130,18 @@ impl DocStore {
     }
 
     pub fn delete(&mut self, id: &str) -> bool {
-        self.docs.remove(id).is_some()
+        let removed = self.docs.remove(id).is_some();
+        if removed {
+            self.invalidate_schema();
+        }
+        removed
+    }
+
+    fn invalidate_schema(&mut self) {
+        *self
+            .schema_cache
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// All documents, id-ordered (deterministic scan order).
@@ -151,12 +173,33 @@ impl DocStore {
 
     /// The observed property schema: `path -> (type name, occurrence count)`.
     /// This is Luna's "data schema" (§6.1), discovered from ingested data.
+    /// The walk is memoized: repeated calls between mutations return the
+    /// cached map without rescanning the corpus.
     pub fn schema(&self) -> BTreeMap<String, (String, usize)> {
+        if let Some(cached) = self
+            .schema_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+        {
+            return cached.clone();
+        }
         let mut out: BTreeMap<String, (String, usize)> = BTreeMap::new();
         for d in self.scan() {
             collect_schema("", &d.properties, &mut out);
         }
+        self.schema_scans.fetch_add(1, Ordering::Relaxed);
+        *self
+            .schema_cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out.clone());
         out
+    }
+
+    /// How many full corpus walks `schema()` has performed on this store —
+    /// a cache-effectiveness probe for tests and benchmarks.
+    pub fn schema_scan_count(&self) -> usize {
+        self.schema_scans.load(Ordering::Relaxed)
     }
 }
 
@@ -355,6 +398,33 @@ mod tests {
         assert_eq!(schema["state"].0, "string");
         assert_eq!(schema["year"].0, "int");
         assert_eq!(schema["cause"].1, 3, "cause present in 3 docs");
+    }
+
+    #[test]
+    fn schema_is_cached_until_mutation() {
+        let s = store();
+        assert_eq!(s.schema_scan_count(), 0);
+        let first = s.schema();
+        assert_eq!(s.schema_scan_count(), 1);
+        // Repeated discovery (the planner per-question pattern) is served
+        // from the cache.
+        assert_eq!(s.schema(), first);
+        assert_eq!(s.schema(), first);
+        assert_eq!(s.schema_scan_count(), 1);
+        // put invalidates...
+        let mut s = s;
+        s.put(doc("e", obj! { "state" => "HI", "island" => "Maui" }));
+        let with_island = s.schema();
+        assert_eq!(s.schema_scan_count(), 2);
+        assert_eq!(with_island["island"].0, "string");
+        // ...and so does delete.
+        s.delete("e");
+        assert!(!s.schema().contains_key("island"));
+        assert_eq!(s.schema_scan_count(), 3);
+        // Deleting a missing id leaves the cache warm.
+        s.delete("ghost");
+        s.schema();
+        assert_eq!(s.schema_scan_count(), 3);
     }
 
     #[test]

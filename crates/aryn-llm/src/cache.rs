@@ -350,6 +350,71 @@ impl LlmCallCache {
         outcome
     }
 
+    /// Probes `key` without computing on a miss. A present entry counts as
+    /// a hit (with savings accounting and an LRU refresh); an absent entry
+    /// is stats-neutral — the caller is expected to obtain the completion
+    /// some other way (e.g. inside a packed batch call) and account the
+    /// miss via [`insert`](Self::insert). Does not wait on in-flight
+    /// leaders — the batch layer would rather pack a duplicate item than
+    /// block a whole batch on one straggler.
+    pub fn peek(&self, key: CacheKey) -> Option<CacheOutcome> {
+        let mut g = lock(&self.inner);
+        if g.entries.contains_key(&key.0) {
+            g.tick += 1;
+            let tick = g.tick;
+            let (text, usage) = match g.entries.get_mut(&key.0) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    (entry.text.clone(), entry.usage)
+                }
+                None => return None, // unreachable: checked just above
+            };
+            g.stats.hits += 1;
+            g.stats.cost_saved_usd += usage.cost_usd;
+            g.stats.latency_saved_ms += usage.latency_ms;
+            return Some(CacheOutcome {
+                text,
+                usage,
+                hit: true,
+            });
+        }
+        None
+    }
+
+    /// Inserts a completion obtained outside [`get_or_compute`] — the batch
+    /// layer memoizes each packed item under its own single-call fingerprint
+    /// here. Counts the miss the [`peek`](Self::peek) probe deferred plus an
+    /// insert (mirroring `get_or_compute`'s miss+insert on a computed call),
+    /// refreshes the LRU, and appends to the disk tier when one is attached.
+    pub fn insert(&self, key: CacheKey, text: String, usage: Usage) {
+        let mut g = lock(&self.inner);
+        g.stats.misses += 1;
+        g.stats.inserts += 1;
+        g.tick += 1;
+        let tick = g.tick;
+        g.entries.insert(
+            key.0,
+            CachedCall {
+                text: text.clone(),
+                usage,
+                last_used: tick,
+            },
+        );
+        evict_over_capacity(&mut g, self.capacity);
+        drop(g);
+        if let Some(disk) = &self.disk {
+            self.append_disk(
+                disk,
+                key,
+                &CacheOutcome {
+                    text,
+                    usage,
+                    hit: false,
+                },
+            );
+        }
+    }
+
     /// Appends one entry to the disk tier. Disk trouble degrades the cache
     /// to memory-only rather than failing the call that produced the result.
     fn append_disk(&self, disk: &Mutex<PathBuf>, key: CacheKey, out: &CacheOutcome) {

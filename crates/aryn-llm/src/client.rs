@@ -22,6 +22,14 @@ pub struct UsageStats {
     pub parse_repairs: u64,
     pub parse_failures: u64,
     pub transient_failures: u64,
+    /// Packed (multi-item) model calls issued by the batch layer.
+    pub batched_calls: u64,
+    /// Items resolved out of packed batch responses (singleton fallbacks and
+    /// cache hits are not counted here).
+    pub batched_items: u64,
+    /// Model calls avoided by packing: for each packed call that resolved
+    /// `m` items, `m - 1` calls an unbatched run would have issued.
+    pub calls_saved: u64,
     pub usage: Usage,
 }
 
@@ -37,6 +45,9 @@ impl UsageStats {
             transient_failures: self
                 .transient_failures
                 .saturating_sub(earlier.transient_failures),
+            batched_calls: self.batched_calls.saturating_sub(earlier.batched_calls),
+            batched_items: self.batched_items.saturating_sub(earlier.batched_items),
+            calls_saved: self.calls_saved.saturating_sub(earlier.calls_saved),
             usage: Usage {
                 input_tokens: self.usage.input_tokens.saturating_sub(earlier.usage.input_tokens),
                 output_tokens: self
@@ -56,6 +67,9 @@ impl UsageStats {
         self.parse_repairs += other.parse_repairs;
         self.parse_failures += other.parse_failures;
         self.transient_failures += other.transient_failures;
+        self.batched_calls += other.batched_calls;
+        self.batched_items += other.batched_items;
+        self.calls_saved += other.calls_saved;
         self.usage.add(&other.usage);
     }
 }
@@ -79,13 +93,13 @@ impl UsageMeter {
         *self.inner.lock() = UsageStats::default();
     }
 
-    fn record(&self, usage: &Usage) {
+    pub(crate) fn record(&self, usage: &Usage) {
         let mut s = self.inner.lock();
         s.calls += 1;
         s.usage.add(usage);
     }
 
-    fn bump(&self, f: impl FnOnce(&mut UsageStats)) {
+    pub(crate) fn bump(&self, f: impl FnOnce(&mut UsageStats)) {
         f(&mut self.inner.lock());
     }
 }
@@ -155,6 +169,19 @@ impl LlmClient {
         self.model.name()
     }
 
+    /// The wrapped model's context window, in tokens.
+    pub fn context_window(&self) -> usize {
+        self.model.context_window()
+    }
+
+    pub(crate) fn meter_ref(&self) -> &UsageMeter {
+        &self.meter
+    }
+
+    pub(crate) fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
     pub fn meter(&self) -> Arc<UsageMeter> {
         Arc::clone(&self.meter)
     }
@@ -195,6 +222,21 @@ impl LlmClient {
         prompt_fn(fitted)
     }
 
+    /// Truncates `context` exactly the way [`LlmClient::fit_prompt`] would,
+    /// returning the fitted context instead of the rendered prompt. Callers
+    /// that pack several contexts into one envelope (see [`crate::batch`])
+    /// need the per-item text whose singleton prompt is byte-identical to
+    /// `fit_prompt`'s output, so cache fingerprints line up.
+    pub fn fit_context(
+        &self,
+        context: &str,
+        max_output: usize,
+        prompt_fn: impl Fn(&str) -> String,
+    ) -> String {
+        let overhead = count_tokens(&prompt_fn(""));
+        truncate_tokens(context, self.context_budget(overhead, max_output)).to_string()
+    }
+
     /// One raw completion with transient-failure retries and metering.
     pub fn generate(&self, prompt: &str, max_output: usize) -> Result<String> {
         self.generate_at(prompt, max_output, 0.0, 0)
@@ -232,7 +274,7 @@ impl LlmClient {
     /// the (backoff-inclusive) usage of the successful attempt. Metering of
     /// the successful call is the caller's job; transient failures are
     /// metered here, where they happen.
-    fn call_model(
+    pub(crate) fn call_model(
         &self,
         prompt: &str,
         max_output: usize,

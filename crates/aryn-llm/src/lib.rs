@@ -8,6 +8,7 @@
 //! See DESIGN.md §2 for how the simulation substitutes for hosted models
 //! while preserving the behaviours the paper's system depends on.
 
+pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod embed;
@@ -17,6 +18,7 @@ pub mod prompt;
 pub mod registry;
 pub mod semantics;
 
+pub use batch::{run_batched, BatchConfig, BatchReport};
 pub use cache::{CacheKey, CacheStats, LlmCallCache};
 pub use client::{LlmClient, RetryPolicy, UsageMeter, UsageStats};
 pub use embed::{cosine, EmbeddingModel, HashedBowEmbedder};

@@ -17,7 +17,7 @@
 //! legitimately produce a different draw, as resampling would.
 
 use crate::model::{LanguageModel, LlmRequest, LlmResponse, Usage};
-use crate::prompt::{parse_prompt, ParsedTask};
+use crate::prompt::{build_prompt, parse_batch_params, parse_prompt, split_batch_items, ParsedTask};
 use crate::registry::{ModelSpec, TaskKind};
 use crate::semantics;
 use aryn_core::text::count_tokens;
@@ -146,6 +146,9 @@ impl MockLlm {
 
     /// Runs the semantic engine and the error model for one parsed task.
     fn complete_task(&self, task: &ParsedTask, ctx: &EngineCtx<'_>) -> String {
+        if task.kind == TaskKind::Batch {
+            return self.complete_batch(task, ctx);
+        }
         // Custom engines first.
         for e in &self.engines {
             if e.kind() == task.kind {
@@ -156,6 +159,48 @@ impl MockLlm {
         }
         let honest = self.honest_answer(task);
         self.maybe_corrupt(task, ctx, honest)
+    }
+
+    /// Completes a batched prompt by replaying each item through the
+    /// single-item pipeline. Every accuracy/malformation draw is keyed on
+    /// the *reconstructed single-item prompt* (salt 0), so a batched
+    /// temperature-0 call answers each item byte-identically to the
+    /// unbatched call — the equivalence the batch layer's proptests pin.
+    ///
+    /// Per-item error injection mirrors the unbatched repair ladder: a
+    /// lenient-parseable malformed item folds its repaired value into the
+    /// batch object (what `generate_json`'s lenient pass would yield); an
+    /// unrecoverably truncated item is *omitted* from the response, which
+    /// drives the caller's split-and-retry fallback down to a singleton
+    /// where the real retry ladder applies. The assembled object then takes
+    /// one more batch-level malformation draw, as any completion would.
+    fn complete_batch(&self, task: &ParsedTask, ctx: &EngineCtx<'_>) -> String {
+        let Ok((inner_kind, inner_params, _)) = parse_batch_params(&task.params) else {
+            return "{\"error\": \"unparseable batch params\"}".to_string();
+        };
+        if inner_kind == TaskKind::Batch {
+            return "{\"error\": \"nested batch\"}".to_string();
+        }
+        let mut out = std::collections::BTreeMap::new();
+        for (i, item) in split_batch_items(&task.context).iter().enumerate() {
+            let single = build_prompt(inner_kind, &inner_params, item);
+            let ictx = EngineCtx {
+                spec: self.spec,
+                seed: self.cfg.seed,
+                prompt_hash: aryn_core::fnv1a(single.as_bytes()),
+                salt: 0,
+            };
+            let itask = ParsedTask {
+                kind: inner_kind,
+                params: inner_params.clone(),
+                context: item.clone(),
+            };
+            let text = self.complete_task(&itask, &ictx);
+            if let Ok(v) = aryn_core::json::parse_lenient(&text) {
+                out.insert(i.to_string(), v);
+            }
+        }
+        self.render_raw(ctx, aryn_core::json::to_string_pretty(&Value::Object(out)))
     }
 
     fn honest_answer(&self, task: &ParsedTask) -> Value {
@@ -211,6 +256,9 @@ impl MockLlm {
                 // produces an unusable plan, as a weak model would.
                 obj! { "error" => "no plan produced" }
             }
+            // Batch is intercepted in complete_task; reaching here means a
+            // malformed envelope.
+            TaskKind::Batch => obj! { "error" => "unhandled batch" },
         }
     }
 
@@ -303,7 +351,7 @@ impl MockLlm {
                     obj! { "answer" => s.as_str() }
                 }
             }
-            TaskKind::Plan => honest,
+            TaskKind::Plan | TaskKind::Batch => honest,
         }
     }
 

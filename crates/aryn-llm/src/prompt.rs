@@ -58,6 +58,12 @@ pub fn build_prompt(kind: TaskKind, params: &Value, context: &str) -> String {
             "You are a query planner. Given the user's question, the data schema, and the \
              available operators, produce a query plan as a JSON DAG."
         }
+        TaskKind::Batch => {
+            "You are a careful data analyst. The context contains several independent items, \
+             each introduced by an [ITEM k] marker. Perform the inner task on every item \
+             separately, as if each were its own request. Answer with a single JSON object \
+             keyed by item index: {\"0\": <result>, \"1\": <result>, ...}."
+        }
     };
     format!(
         "{instructions}\n[TASK] {}\n[PARAMS] {}\n[CONTEXT]\n{}\n[END]\nRespond with JSON only.",
@@ -87,6 +93,69 @@ pub fn parse_prompt(prompt: &str) -> Result<ParsedTask> {
         params,
         context,
     })
+}
+
+/// Builds a batched prompt wrapping `task` over K indexed items. The inner
+/// task name and params travel in `[PARAMS]`; each item's payload sits under
+/// its `[ITEM k]` marker in `[CONTEXT]`. Batch positions are always
+/// `0..items.len()` — callers keep their own position → document mapping.
+pub fn build_batch_prompt(task: TaskKind, params: &Value, items: &[String]) -> String {
+    let mut ctx = String::new();
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            ctx.push('\n');
+        }
+        ctx.push_str(&format!("[ITEM {i}]\n"));
+        ctx.push_str(item.trim_end());
+    }
+    let p = aryn_core::obj! {
+        "task" => task.name(),
+        "params" => params.clone(),
+        "count" => items.len() as i64,
+    };
+    build_prompt(TaskKind::Batch, &p, &ctx)
+}
+
+/// Recovers the inner `(task, params, count)` from a parsed batch prompt's
+/// `[PARAMS]` value.
+pub fn parse_batch_params(params: &Value) -> Result<(TaskKind, Value, usize)> {
+    let name = params
+        .get("task")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ArynError::Llm("batch params missing inner task".into()))?;
+    let kind = TaskKind::from_name(name)
+        .ok_or_else(|| ArynError::Llm(format!("unknown inner batch task {name:?}")))?;
+    let inner = params
+        .get("params")
+        .cloned()
+        .ok_or_else(|| ArynError::Llm("batch params missing inner params".into()))?;
+    let count = params.get("count").and_then(Value::as_int).unwrap_or(0).max(0) as usize;
+    Ok((kind, inner, count))
+}
+
+/// Splits a batch context back into the per-item payloads. Markers are
+/// sequential `[ITEM 0]`, `[ITEM 1]`, … — a marker only opens a new item
+/// when its index is the next expected one, so item text mentioning
+/// unrelated `[ITEM …]` strings cannot desynchronize the split.
+pub fn split_batch_items(context: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut cur: Option<String> = None;
+    for line in context.lines() {
+        let started = out.len() + usize::from(cur.is_some());
+        if line.trim() == format!("[ITEM {started}]") {
+            if let Some(c) = cur.take() {
+                out.push(c.trim_end().to_string());
+            }
+            cur = Some(String::new());
+        } else if let Some(c) = cur.as_mut() {
+            c.push_str(line);
+            c.push('\n');
+        }
+    }
+    if let Some(c) = cur.take() {
+        out.push(c.trim_end().to_string());
+    }
+    out
 }
 
 fn section_line<'a>(text: &'a str, tag: &str) -> Option<&'a str> {

@@ -19,6 +19,9 @@ pub enum TaskKind {
     Answer,
     /// Natural-language → query-plan JSON (Luna's planner task).
     Plan,
+    /// An indexed multi-document envelope around one inner task (micro-
+    /// batching): K items in one prompt, index-keyed JSON object out.
+    Batch,
 }
 
 impl TaskKind {
@@ -30,6 +33,7 @@ impl TaskKind {
             TaskKind::Summarize => "summarize",
             TaskKind::Answer => "answer",
             TaskKind::Plan => "plan",
+            TaskKind::Batch => "batch",
         }
     }
 
@@ -41,6 +45,7 @@ impl TaskKind {
             "summarize" => TaskKind::Summarize,
             "answer" => TaskKind::Answer,
             "plan" => TaskKind::Plan,
+            "batch" => TaskKind::Batch,
             _ => return None,
         })
     }
@@ -90,6 +95,9 @@ impl TaskAccuracy {
             TaskKind::Summarize => self.summarize,
             TaskKind::Answer => self.answer,
             TaskKind::Plan => self.plan,
+            // Batch envelopes carry no accuracy of their own: each packed
+            // item is judged with the inner task's accuracy by the mock.
+            TaskKind::Batch => self.extract,
         }
     }
 }
@@ -197,6 +205,7 @@ mod tests {
             TaskKind::Summarize,
             TaskKind::Answer,
             TaskKind::Plan,
+            TaskKind::Batch,
         ] {
             assert_eq!(TaskKind::from_name(k.name()), Some(k));
         }

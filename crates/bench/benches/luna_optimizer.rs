@@ -26,6 +26,7 @@ fn main() {
                 batch_filters: false,
                 model_selection: false,
                 min_accuracy: 0.85,
+                ..OptimizerCfg::default()
             },
         },
         Variant {
@@ -36,6 +37,7 @@ fn main() {
                 batch_filters: true,
                 model_selection: false,
                 min_accuracy: 0.85,
+                ..OptimizerCfg::default()
             },
         },
         Variant {

@@ -70,6 +70,11 @@ pub struct NodeTrace {
     pub cache_hits: u64,
     /// Simulated dollars those cache hits would have cost.
     pub cost_saved_usd: f64,
+    /// Packed micro-batch calls issued during this node (0 when batching is
+    /// off).
+    pub batched_calls: u64,
+    /// LLM calls avoided by micro-batching during this node.
+    pub calls_saved: u64,
     /// Up to three sample row ids (provenance peek).
     pub sample_ids: Vec<String>,
     /// Scalar output, if the node produced one.
@@ -113,6 +118,14 @@ impl LunaResult {
 
     pub fn total_cost_saved_usd(&self) -> f64 {
         self.traces.iter().map(|t| t.cost_saved_usd).sum()
+    }
+
+    pub fn total_batched_calls(&self) -> u64 {
+        self.traces.iter().map(|t| t.batched_calls).sum()
+    }
+
+    pub fn total_calls_saved(&self) -> u64 {
+        self.traces.iter().map(|t| t.calls_saved).sum()
     }
 
     /// Renders the execution history as a table (the debugging view §6.1).
@@ -219,6 +232,8 @@ impl PlanExecutor {
                 cost_usd: delta.usage.cost_usd,
                 cache_hits: cache_delta.hits,
                 cost_saved_usd: cache_delta.cost_saved_usd,
+                batched_calls: delta.batched_calls,
+                calls_saved: delta.calls_saved,
                 sample_ids: out
                     .rows()
                     .map(|r| r.iter().take(3).map(|d| d.id.0.clone()).collect())
@@ -333,6 +348,13 @@ impl PlanExecutor {
         // fingerprints (counters feed the fingerprint; gauges do not).
         if t.cache_hits > 0 {
             span.set("llm_cache_hits", t.cache_hits);
+        }
+        // Likewise for batching-off traces.
+        if t.batched_calls > 0 {
+            span.set("llm_batched_calls", t.batched_calls);
+        }
+        if t.calls_saved > 0 {
+            span.set("llm_calls_saved", t.calls_saved);
         }
         if t.cost_saved_usd > 0.0 {
             span.gauge("llm_cost_saved_usd", t.cost_saved_usd);

@@ -39,6 +39,13 @@ pub struct LunaConfig {
     /// Optional JSONL disk tier directory (conventionally the lake dir):
     /// entries persist across Luna instances and processes.
     pub call_cache_dir: Option<std::path::PathBuf>,
+    /// Cross-document micro-batching width for batchable semantic operators
+    /// (`llmFilter`, `llmExtract`): up to this many documents share one
+    /// packed LLM call. 1 = off (the default; call counts stay exact for
+    /// tests and benchmarks that pin them).
+    pub batch_max_items: usize,
+    /// Token budget for one packed micro-batch payload.
+    pub batch_token_budget: usize,
 }
 
 impl Default for LunaConfig {
@@ -53,6 +60,8 @@ impl Default for LunaConfig {
             call_cache: false,
             call_cache_capacity: 4096,
             call_cache_dir: None,
+            batch_max_items: 1,
+            batch_token_budget: 2048,
         }
     }
 }
@@ -72,6 +81,15 @@ impl Luna {
     /// Builds Luna over a Sycamore context whose catalog already holds the
     /// ingested stores named in `indexes`.
     pub fn new(ctx: sycamore::Context, indexes: &[&str], cfg: LunaConfig) -> Result<Luna> {
+        // Apply the micro-batching knobs to the live context (a query-time
+        // setting: the sinks survive, unlike `with_exec`), and let the
+        // optimizer's cost model know so its notes reflect the engine's
+        // actual packing width.
+        let mut optimizer = cfg.optimizer.clone();
+        if cfg.batch_max_items > 1 {
+            ctx.set_batch(cfg.batch_max_items, cfg.batch_token_budget);
+            optimizer.batch_max_items = cfg.batch_max_items;
+        }
         let mut schemas = Vec::new();
         for name in indexes {
             let schema = ctx.with_store(name, |s| IndexSchema::discover(name, s))?;
@@ -130,7 +148,7 @@ impl Luna {
             schemas,
             planner_client,
             executor,
-            optimizer: cfg.optimizer,
+            optimizer,
             max_replan: cfg.max_replan,
             call_cache,
         })
@@ -457,6 +475,12 @@ impl LunaAnswer {
                     t.cache_hits, t.cost_saved_usd
                 ));
             }
+            if t.batched_calls > 0 {
+                out.push_str(&format!(
+                    "  batch: {} packed calls  {} calls saved\n",
+                    t.batched_calls, t.calls_saved
+                ));
+            }
         }
         if let Some(p) = self.trace.spans_of_kind("planner").first() {
             out.push_str(&format!(
@@ -489,6 +513,13 @@ impl LunaAnswer {
                 "cache: {} hits  ${:.4} saved\n",
                 self.result.total_cache_hits(),
                 self.result.total_cost_saved_usd()
+            ));
+        }
+        if self.result.total_batched_calls() > 0 {
+            out.push_str(&format!(
+                "batch: {} packed calls  {} calls saved\n",
+                self.result.total_batched_calls(),
+                self.result.total_calls_saved()
             ));
         }
         out

@@ -31,6 +31,11 @@ pub struct OptimizerCfg {
     pub model_selection: bool,
     /// Minimum acceptable per-call accuracy when picking a model.
     pub min_accuracy: f64,
+    /// Cross-document micro-batch width the engine will apply to surviving
+    /// semantic operators (1 = off). The cost model doesn't rewrite the plan
+    /// for it — packing happens at execution time — but it notes the
+    /// expected call reduction so `explain_analyze` surfaces the decision.
+    pub batch_max_items: usize,
 }
 
 impl Default for OptimizerCfg {
@@ -41,6 +46,7 @@ impl Default for OptimizerCfg {
             batch_filters: true,
             model_selection: true,
             min_accuracy: 0.85,
+            batch_max_items: 1,
         }
     }
 }
@@ -79,7 +85,47 @@ pub fn optimize(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg) -> Res
         select_models(&mut plan, cfg, &mut notes);
         check_pass("model-selection", &plan, schemas)?;
     }
+    if cfg.batch_max_items > 1 {
+        note_batching(&plan, schemas, cfg, &mut notes);
+    }
     Ok(Optimized { plan, notes })
+}
+
+/// Cost-model pass for cross-document micro-batching: estimates the call
+/// reduction each surviving semantic operator gets from packing up to
+/// `batch_max_items` documents per call. Row counts are upper-bounded by the
+/// scanned index's document count (filters only shrink the set), so the
+/// estimate is a ceiling on calls and a floor on savings.
+fn note_batching(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg, notes: &mut Vec<String>) {
+    let index_docs = plan.nodes.iter().find_map(|n| match &n.op {
+        PlanOp::QueryDatabase { index, .. } => schemas
+            .iter()
+            .find(|s| s.index == *index)
+            .map(|s| s.doc_count),
+        _ => None,
+    });
+    let k = cfg.batch_max_items;
+    for n in &plan.nodes {
+        let kind = match &n.op {
+            PlanOp::LlmFilter { .. } => "llmFilter",
+            PlanOp::LlmExtract { .. } => "llmExtract",
+            _ => continue,
+        };
+        match index_docs {
+            Some(rows) if rows > 0 => {
+                let calls = rows.div_ceil(k);
+                notes.push(format!(
+                    "out_{}: {kind} micro-batches up to {k} docs/call (≤{rows} rows → ≤{calls} calls, saving ≥{})",
+                    n.id,
+                    rows - calls
+                ));
+            }
+            _ => notes.push(format!(
+                "out_{}: {kind} micro-batches up to {k} docs/call",
+                n.id
+            )),
+        }
+    }
 }
 
 /// The analyzer gate behind each pass (replaces the old `debug_assert!`,
@@ -674,6 +720,45 @@ mod batch_tests {
             .filter(|n| matches!(n.op, PlanOp::LlmFilter { .. }))
             .count();
         assert_eq!(n_filters, 2, "parallel branches must not fuse");
+    }
+
+    #[test]
+    fn micro_batching_cost_model_notes_call_reduction() {
+        let mut store = aryn_index::DocStore::new();
+        for i in 0..10 {
+            let mut d = aryn_core::Document::new(format!("n{i}"));
+            d.properties = aryn_core::obj! { "us_state_abbrev" => "AK" };
+            store.put(d);
+        }
+        let schemas = vec![crate::schema::IndexSchema::discover("ntsb", &store)];
+        let cfg = OptimizerCfg {
+            pushdown: false,
+            reorder: false,
+            batch_filters: false,
+            model_selection: false,
+            batch_max_items: 4,
+            ..OptimizerCfg::default()
+        };
+        let opt = optimize(&chain_plan(), &schemas, &cfg).unwrap();
+        // 10 rows at ≤4 docs/call → ≤3 calls, saving ≥7; one note per
+        // semantic operator.
+        let batch_notes: Vec<&String> = opt
+            .notes
+            .iter()
+            .filter(|n| n.contains("micro-batches"))
+            .collect();
+        assert_eq!(batch_notes.len(), 2, "{:?}", opt.notes);
+        assert!(batch_notes[0].contains("≤10 rows → ≤3 calls, saving ≥7"));
+        // Off by default: no notes.
+        let off = optimize(&chain_plan(), &schemas, &OptimizerCfg {
+            pushdown: false,
+            reorder: false,
+            batch_filters: false,
+            model_selection: false,
+            ..OptimizerCfg::default()
+        })
+        .unwrap();
+        assert!(off.notes.iter().all(|n| !n.contains("micro-batches")));
     }
 
     #[test]

@@ -470,3 +470,94 @@ fn schema_evolves_with_new_extractions() {
         p2.describe()
     );
 }
+
+/// Regression: the planner consults the index schema on every question and
+/// every `QueryDatabase` execution; the store must serve those from its
+/// cached schema instead of rescanning the corpus each time.
+#[test]
+fn repeated_queries_reuse_cached_index_schema() {
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(7, 12);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&aryn_llm::GPT4_SIM, SimConfig::perfect(7))));
+    ingest_lake(
+        &ctx,
+        "ntsb",
+        "ntsb",
+        &client,
+        ntsb_schema(),
+        aryn_partitioner::Detector::DetrSim,
+    )
+    .unwrap();
+    let luna = Luna::new(
+        ctx.clone(),
+        &["ntsb"],
+        LunaConfig { sim: SimConfig::perfect(7), ..LunaConfig::default() },
+    )
+    .unwrap();
+    let after_build = ctx.with_store("ntsb", |s| s.schema_scan_count()).unwrap();
+    assert_eq!(after_build, 1, "schema discovery scans the corpus exactly once");
+    for _ in 0..3 {
+        luna.ask("How many incidents were caused by environmental factors?").unwrap();
+        luna.plan("Which incidents were fatal?").unwrap();
+    }
+    assert_eq!(
+        ctx.with_store("ntsb", |s| s.schema_scan_count()).unwrap(),
+        after_build,
+        "repeated planning and execution must reuse the cached schema"
+    );
+}
+
+/// Micro-batching is answer-preserving end to end: a Luna with
+/// `batch_max_items > 1` returns the same answer as an unbatched one while
+/// issuing fewer LLM calls, and the savings surface in `explain_analyze`.
+#[test]
+fn micro_batched_queries_answer_identically_and_save_calls() {
+    // Pushdown is disabled so the planner's llmFilter survives to execution
+    // (otherwise it becomes a structured filter and nothing batches).
+    let build = |batch: usize| {
+        let ctx = Context::new();
+        let corpus = Corpus::ntsb(7, 24);
+        ctx.register_corpus("ntsb", &corpus);
+        let client =
+            LlmClient::new(Arc::new(MockLlm::new(&aryn_llm::GPT4_SIM, SimConfig::perfect(7))));
+        ingest_lake(
+            &ctx,
+            "ntsb",
+            "ntsb",
+            &client,
+            ntsb_schema(),
+            aryn_partitioner::Detector::DetrSim,
+        )
+        .unwrap();
+        Luna::new(
+            ctx,
+            &["ntsb"],
+            LunaConfig {
+                sim: SimConfig::perfect(7),
+                batch_max_items: batch,
+                batch_token_budget: 1 << 20,
+                optimizer: luna::OptimizerCfg { pushdown: false, ..Default::default() },
+                ..LunaConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let q = "How many incidents were caused by environmental factors?";
+    let base = build(1).ask(q).unwrap();
+    let ans = build(8).ask(q).unwrap();
+
+    assert_eq!(ans.answer(), base.answer(), "batching changed the answer");
+    assert_eq!(base.result.total_batched_calls(), 0);
+    assert!(ans.result.total_batched_calls() > 0, "llmFilter must have batched");
+    assert!(ans.result.total_calls_saved() > 0);
+    assert!(
+        ans.result.total_llm_calls() < base.result.total_llm_calls(),
+        "batched run must issue fewer calls: {} vs {}",
+        ans.result.total_llm_calls(),
+        base.result.total_llm_calls()
+    );
+    let explained = ans.explain_analyze();
+    assert!(explained.contains("batch:"), "{explained}");
+    assert!(explained.contains("calls saved"), "{explained}");
+}

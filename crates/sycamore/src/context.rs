@@ -27,6 +27,13 @@ pub struct ExecConfig {
     /// whole pipeline.
     pub skip_failures: bool,
     pub seed: u64,
+    /// Maximum documents packed into one LLM micro-batch call for batchable
+    /// semantic ops (`llm_filter`, `extract_properties`). 1 = batching off
+    /// (the default): every document gets its own call, preserving
+    /// historical call counts exactly.
+    pub batch_max_items: usize,
+    /// Token budget for the packed payload of one micro-batch call.
+    pub batch_token_budget: usize,
 }
 
 impl Default for ExecConfig {
@@ -37,6 +44,8 @@ impl Default for ExecConfig {
             max_retries: 3,
             skip_failures: false,
             seed: 0x5CA9,
+            batch_max_items: 1,
+            batch_token_budget: 2048,
         }
     }
 }
@@ -56,7 +65,11 @@ pub(crate) struct ContextInner {
     /// Named in-memory materializations.
     pub materialized: RwLock<BTreeMap<String, Vec<Document>>>,
     pub embedder: Arc<dyn EmbeddingModel>,
-    pub exec: ExecConfig,
+    /// Execution configuration. Behind a lock so query-time knobs (the
+    /// micro-batching pair) can be adjusted on a live context without
+    /// rebuilding its sinks; `ExecConfig` is `Copy`, so readers take
+    /// snapshots.
+    pub exec: RwLock<ExecConfig>,
     /// Span collector shared by the executor, transforms, and the
     /// partitioner; `with_exec` contexts share it so one trace covers a
     /// whole ingest-plus-query session.
@@ -90,7 +103,7 @@ impl Context {
                 vector: RwLock::new(BTreeMap::new()),
                 materialized: RwLock::new(BTreeMap::new()),
                 embedder,
-                exec: ExecConfig::default(),
+                exec: RwLock::new(ExecConfig::default()),
                 telemetry: Telemetry::new("sycamore"),
             }),
         }
@@ -110,14 +123,24 @@ impl Context {
                 vector: RwLock::new(BTreeMap::new()),
                 materialized: RwLock::new(self.inner.materialized.read().clone()),
                 embedder: Arc::clone(&self.inner.embedder),
-                exec,
+                exec: RwLock::new(exec),
                 telemetry: self.inner.telemetry.clone(),
             }),
         }
     }
 
     pub fn exec_config(&self) -> ExecConfig {
-        self.inner.exec
+        *self.inner.exec.read()
+    }
+
+    /// Adjusts the micro-batching knobs in place. Unlike [`Context::with_exec`],
+    /// which starts the index sinks empty because executor settings are an
+    /// ingest-time choice, batching is a query-time concern: Luna applies its
+    /// configured knobs to an existing context without discarding indexes.
+    pub fn set_batch(&self, max_items: usize, token_budget: usize) {
+        let mut exec = self.inner.exec.write();
+        exec.batch_max_items = max_items.max(1);
+        exec.batch_token_budget = token_budget.max(1);
     }
 
     /// The context's span collector. Clone it to record from transforms or
@@ -253,6 +276,21 @@ mod tests {
         ctx.create_vector_index("v");
         assert_eq!(ctx.with_vector("v", |v| v.len()).unwrap(), 0);
         assert!(ctx.with_keyword("k", |k| k.len()).is_err());
+    }
+
+    #[test]
+    fn set_batch_adjusts_live_context_without_dropping_sinks() {
+        let ctx = Context::new();
+        assert_eq!(ctx.exec_config().batch_max_items, 1);
+        ctx.put_store("s", DocStore::new());
+        ctx.set_batch(8, 4096);
+        let cfg = ctx.exec_config();
+        assert_eq!(cfg.batch_max_items, 8);
+        assert_eq!(cfg.batch_token_budget, 4096);
+        assert!(ctx.read_store("s").is_ok());
+        ctx.set_batch(0, 0);
+        assert_eq!(ctx.exec_config().batch_max_items, 1);
+        assert_eq!(ctx.exec_config().batch_token_budget, 1);
     }
 
     #[test]

@@ -92,6 +92,19 @@ fn record_stage_span(
     if stage.llm_cache_hits > 0 {
         span.set("llm_cache_hits", stage.llm_cache_hits);
     }
+    // Micro-batching counters: packing is deterministic (in-order, fixed
+    // budgets), so these may feed the fingerprint too. Only set when the
+    // stage actually batched, so batching-off traces keep their historical
+    // fingerprints.
+    if stage.llm_calls_saved > 0 {
+        span.set("llm_calls_saved", stage.llm_calls_saved);
+    }
+    if !stage.batch_sizes.is_empty() {
+        span.set("llm_batched_calls", stage.batch_sizes.len() as u64);
+        for (size, count) in stage.batch_size_histogram() {
+            span.set(&format!("batch_size_{size}"), count as u64);
+        }
+    }
     span.gauge("wall_ms", stage.wall_ms)
         .gauge("llm_cost_usd", stage.llm_cost_usd);
     if stage.llm_cost_saved_usd > 0.0 {
@@ -170,6 +183,8 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 llm_cost_usd: delta.usage.cost_usd,
                 llm_cache_hits: cache_delta.hits,
                 llm_cost_saved_usd: cache_delta.cost_saved_usd,
+                llm_calls_saved: delta.calls_saved,
+                batch_sizes: Vec::new(),
                 cache_hit: false,
             };
             record_stage_span(&tel, &stage, &delta, None);
@@ -207,9 +222,18 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 llm_cost_usd: delta.usage.cost_usd,
                 llm_cache_hits: cache_delta.hits,
                 llm_cost_saved_usd: cache_delta.cost_saved_usd,
+                llm_calls_saved: delta.calls_saved,
+                batch_sizes: outcome.batch_sizes,
                 cache_hit: false,
             };
-            record_stage_span(&tel, &stage, &delta, Some(&outcome.worker_docs));
+            // Batched segments carry no per-worker attribution (the
+            // coordinating thread issues the packed calls).
+            let workers = if outcome.worker_docs.is_empty() {
+                None
+            } else {
+                Some(outcome.worker_docs.as_slice())
+            };
+            record_stage_span(&tel, &stage, &delta, workers);
             stats.stages.push(stage);
             i = j;
         }
@@ -257,20 +281,87 @@ struct SegmentOutcome {
     docs: Vec<Document>,
     retries: usize,
     failed: usize,
-    /// Documents processed per worker (length = pool size). Attribution is
-    /// scheduling-dependent under work stealing, so this feeds gauges only.
+    /// Documents processed per worker (length = pool size; empty for batched
+    /// segments, which have no per-worker attribution). *Which* worker got a
+    /// given document is scheduling-dependent under work stealing, so the
+    /// per-worker split feeds gauges only — but each worker counts its own
+    /// documents exactly, so the sum always equals the number of input
+    /// documents (the differential harness asserts this invariant).
     worker_docs: Vec<usize>,
+    /// Documents per packed micro-batch call, in issue order. Empty unless
+    /// this segment ran a batchable op with batching enabled.
+    batch_sizes: Vec<usize>,
+}
+
+/// True for ops the micro-batch packer (DESIGN.md §5e) can run
+/// collection-at-a-time.
+fn is_batchable(op: &Op) -> bool {
+    matches!(op, Op::LlmFilter { .. } | Op::ExtractProperties { .. })
 }
 
 /// Applies a fused run of per-doc ops over all documents, in parallel when
-/// configured.
+/// configured, with cross-document micro-batching when enabled.
 fn run_segment(ctx: &Context, segment: &[Op], docs: Vec<Document>) -> Result<SegmentOutcome> {
     let cfg = ctx.exec_config();
-    if cfg.threads <= 1 {
+    if cfg.batch_max_items > 1 && segment.iter().any(is_batchable) {
+        run_segment_batched(ctx, segment, docs)
+    } else if cfg.threads <= 1 {
         run_segment_sequential(ctx, segment, docs)
     } else {
         run_segment_parallel(ctx, segment, docs)
     }
+}
+
+/// Runs a fused segment with cross-document micro-batching: maximal
+/// non-batchable sub-runs go through the ordinary per-doc machinery (worker
+/// pool, injected failures, retries), while each batchable op (`llm_filter`,
+/// `extract_properties`) runs collection-at-a-time through
+/// [`aryn_llm::run_batched`], which packs documents into shared prompts and
+/// bisects on malformed responses. Per-item semantics — output order, values,
+/// and `skip_failures` accounting — match the unbatched path exactly.
+fn run_segment_batched(
+    ctx: &Context,
+    segment: &[Op],
+    docs: Vec<Document>,
+) -> Result<SegmentOutcome> {
+    let cfg = ctx.exec_config();
+    let bcfg = aryn_llm::BatchConfig {
+        max_items: cfg.batch_max_items,
+        token_budget: cfg.batch_token_budget,
+    };
+    let mut acc = SegmentOutcome {
+        docs,
+        retries: 0,
+        failed: 0,
+        worker_docs: Vec::new(),
+        batch_sizes: Vec::new(),
+    };
+    let mut i = 0;
+    while i < segment.len() {
+        if is_batchable(&segment[i]) {
+            let (docs, failed, report) =
+                transforms::apply_batched(ctx, &segment[i], std::mem::take(&mut acc.docs), bcfg)?;
+            acc.docs = docs;
+            acc.failed += failed;
+            acc.batch_sizes.extend(report.batch_sizes);
+            i += 1;
+        } else {
+            let mut j = i;
+            while j < segment.len() && !is_batchable(&segment[j]) {
+                j += 1;
+            }
+            let sub = if cfg.threads <= 1 {
+                run_segment_sequential(ctx, &segment[i..j], std::mem::take(&mut acc.docs))?
+            } else {
+                run_segment_parallel(ctx, &segment[i..j], std::mem::take(&mut acc.docs))?
+            };
+            acc.docs = sub.docs;
+            acc.retries += sub.retries;
+            acc.failed += sub.failed;
+            i = j;
+        }
+    }
+    Ok(acc)
 }
 
 /// Applies the op chain to one document (with injected worker failures and
@@ -367,6 +458,7 @@ fn run_segment_sequential(
         retries,
         failed,
         worker_docs: vec![n],
+        batch_sizes: Vec::new(),
     })
 }
 
@@ -418,7 +510,13 @@ fn run_segment_parallel(
     // queue empty for a while.
     let drained = Condvar::new();
     let retries_total = AtomicUsize::new(0);
-    let worker_counts: Vec<AtomicUsize> = (0..cfg.threads).map(|_| AtomicUsize::new(0)).collect();
+    // Per-worker document counts: each worker tallies locally and publishes
+    // its exact total once at exit. The old per-task `fetch_add` on shared
+    // atomics was attribution by side effect — counts could interleave with
+    // reads taken mid-stage and never carried a guarantee that they summed
+    // to the documents processed. A single write under the lock makes the
+    // invariant `sum(worker_docs) == n` structural.
+    let worker_counts: Mutex<Vec<usize>> = Mutex::new(vec![0; cfg.threads]);
     // Slot per input document: output docs or terminal error.
     let results: Mutex<Vec<Option<Result<Vec<Document>>>>> = Mutex::new((0..n).map(|_| None).collect());
 
@@ -430,38 +528,42 @@ fn run_segment_parallel(
             let retries_total = &retries_total;
             let worker_counts = &worker_counts;
             let tag = &tag;
-            scope.spawn(move |_| loop {
-                let task = {
-                    let mut g = pool_lock(state);
-                    loop {
-                        if let Some(t) = g.queue.pop_front() {
-                            break Some(t);
+            scope.spawn(move |_| {
+                let mut processed = 0usize;
+                loop {
+                    let task = {
+                        let mut g = pool_lock(state);
+                        loop {
+                            if let Some(t) = g.queue.pop_front() {
+                                break Some(t);
+                            }
+                            if g.done >= n {
+                                break None;
+                            }
+                            g = drained
+                                .wait(g)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                         }
-                        if g.done >= n {
-                            break None;
+                    };
+                    match task {
+                        Some(Task { index, doc }) => {
+                            let (res, r) = process_doc(ctx, segment, tag, doc);
+                            retries_total.fetch_add(r, Ordering::Relaxed);
+                            processed += 1;
+                            results.lock()[index] = Some(res);
+                            let finished = {
+                                let mut g = pool_lock(state);
+                                g.done += 1;
+                                g.done >= n
+                            };
+                            if finished {
+                                drained.notify_all();
+                            }
                         }
-                        g = drained
-                            .wait(g)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        None => break,
                     }
-                };
-                match task {
-                    Some(Task { index, doc }) => {
-                        let (res, r) = process_doc(ctx, segment, tag, doc);
-                        retries_total.fetch_add(r, Ordering::Relaxed);
-                        worker_counts[w].fetch_add(1, Ordering::Relaxed);
-                        results.lock()[index] = Some(res);
-                        let finished = {
-                            let mut g = pool_lock(state);
-                            g.done += 1;
-                            g.done >= n
-                        };
-                        if finished {
-                            drained.notify_all();
-                        }
-                    }
-                    None => break,
                 }
+                worker_counts.lock()[w] = processed;
             });
         }
     })
@@ -481,11 +583,14 @@ fn run_segment_parallel(
             }
         }
     }
+    let worker_docs = worker_counts.into_inner();
+    debug_assert_eq!(worker_docs.iter().sum::<usize>(), n);
     Ok(SegmentOutcome {
         docs: out,
         retries: retries_total.into_inner(),
         failed,
-        worker_docs: worker_counts.into_iter().map(AtomicUsize::into_inner).collect(),
+        worker_docs,
+        batch_sizes: Vec::new(),
     })
 }
 

@@ -31,9 +31,27 @@ pub struct StageStats {
     pub llm_cache_hits: u64,
     /// Simulated dollars those cache hits would have cost.
     pub llm_cost_saved_usd: f64,
+    /// LLM calls avoided by cross-document micro-batching while this stage
+    /// ran: for every packed call, the accepted items beyond the first.
+    pub llm_calls_saved: u64,
+    /// Documents per packed micro-batch call issued by this stage, in issue
+    /// order. Empty when batching is off (the default).
+    pub batch_sizes: Vec<usize>,
     /// True if this stage was served from a materialize cache instead of
     /// being recomputed.
     pub cache_hit: bool,
+}
+
+impl StageStats {
+    /// Histogram of this stage's micro-batch sizes: sorted `(size, count)`
+    /// pairs. Empty when the stage issued no packed calls.
+    pub fn batch_size_histogram(&self) -> Vec<(usize, usize)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for s in &self.batch_sizes {
+            *hist.entry(*s).or_insert(0usize) += 1;
+        }
+        hist.into_iter().collect()
+    }
 }
 
 /// Statistics for one pipeline execution.
@@ -76,6 +94,27 @@ impl ExecStats {
 
     pub fn total_llm_cost_saved_usd(&self) -> f64 {
         self.stages.iter().map(|s| s.llm_cost_saved_usd).sum()
+    }
+
+    pub fn total_llm_calls_saved(&self) -> u64 {
+        self.stages.iter().map(|s| s.llm_calls_saved).sum()
+    }
+
+    /// Packed micro-batch calls issued across all stages.
+    pub fn total_batched_calls(&self) -> u64 {
+        self.stages.iter().map(|s| s.batch_sizes.len() as u64).sum()
+    }
+
+    /// Histogram of micro-batch sizes across all stages: sorted
+    /// `(size, count)` pairs.
+    pub fn batch_size_histogram(&self) -> Vec<(usize, usize)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for s in &self.stages {
+            for size in &s.batch_sizes {
+                *hist.entry(*size).or_insert(0usize) += 1;
+            }
+        }
+        hist.into_iter().collect()
     }
 
     /// Renders a compact table for traces and debugging.
@@ -121,6 +160,8 @@ mod tests {
                     llm_cost_usd: 0.02,
                     llm_cache_hits: 3,
                     llm_cost_saved_usd: 0.005,
+                    llm_calls_saved: 6,
+                    batch_sizes: vec![4, 4, 2, 4],
                     cache_hit: false,
                 },
                 StageStats {
@@ -140,6 +181,9 @@ mod tests {
         assert!((stats.total_llm_cost_usd() - 0.02).abs() < 1e-12);
         assert_eq!(stats.total_llm_cache_hits(), 3);
         assert!((stats.total_llm_cost_saved_usd() - 0.005).abs() < 1e-12);
+        assert_eq!(stats.total_llm_calls_saved(), 6);
+        assert_eq!(stats.total_batched_calls(), 4);
+        assert_eq!(stats.batch_size_histogram(), vec![(2, 1), (4, 3)]);
         let r = stats.render();
         assert!(r.contains("filter(x)"));
         assert!(r.contains("550"));

@@ -3,9 +3,9 @@
 use crate::context::Context;
 use crate::op::{Agg, ElementSelector, Op, PartitionCfg};
 use aryn_core::json;
-use aryn_core::{ArynError, Document, LineageRecord, Result, Value};
+use aryn_core::{obj, ArynError, Document, LineageRecord, Result, Value};
 use aryn_llm::prompt::tasks;
-use aryn_llm::LlmClient;
+use aryn_llm::{run_batched, BatchConfig, BatchReport, LlmClient, TaskKind};
 use aryn_partitioner::{Partitioner, PartitionerOptions};
 use std::collections::BTreeMap;
 
@@ -234,6 +234,129 @@ fn llm_filter(
     } else {
         Ok(vec![])
     }
+}
+
+/// Applies one batchable semantic op collection-at-a-time through the
+/// micro-batch packer (DESIGN.md §5e). Returns the surviving documents, the
+/// number dropped under `skip_failures`, and the packer's report. Per-item
+/// contexts are fitted with [`LlmClient::fit_context`] so each item's
+/// singleton prompt — and therefore its cache fingerprint and simulated
+/// answer — is byte-identical to the unbatched path's.
+pub fn apply_batched(
+    ctx: &Context,
+    op: &Op,
+    docs: Vec<Document>,
+    cfg: BatchConfig,
+) -> Result<(Vec<Document>, usize, BatchReport)> {
+    let skip = ctx.exec_config().skip_failures;
+    match op {
+        Op::LlmFilter {
+            client,
+            predicate,
+            selector,
+        } => llm_filter_batched(client, predicate, selector, docs, cfg, skip),
+        Op::ExtractProperties {
+            client,
+            schema,
+            selector,
+        } => extract_properties_batched(client, schema, selector, docs, cfg, skip),
+        other => Err(ArynError::Exec(format!(
+            "{} is not a batchable op",
+            other.name()
+        ))),
+    }
+}
+
+fn llm_filter_batched(
+    client: &LlmClient,
+    predicate: &str,
+    selector: &ElementSelector,
+    docs: Vec<Document>,
+    cfg: BatchConfig,
+    skip_failures: bool,
+) -> Result<(Vec<Document>, usize, BatchReport)> {
+    let params = obj! { "predicate" => predicate };
+    let contexts: Vec<String> = docs
+        .iter()
+        .map(|d| {
+            client.fit_context(&selector.select_text(d), 64, |ctx| {
+                tasks::filter(predicate, ctx)
+            })
+        })
+        .collect();
+    let (values, report) = run_batched(client, TaskKind::Filter, &params, &contexts, 64, cfg);
+    let mut out = Vec::with_capacity(docs.len());
+    let mut failed = 0usize;
+    for (mut doc, res) in docs.into_iter().zip(values) {
+        match res {
+            Ok(v) => {
+                if v.get("match").and_then(Value::as_bool).unwrap_or(false) {
+                    doc.lineage.push(
+                        LineageRecord::new("llm_filter", predicate.to_string()).with_llm(1, 0.0),
+                    );
+                    out.push(doc);
+                }
+            }
+            Err(e) => {
+                if skip_failures {
+                    failed += 1;
+                } else {
+                    return Err(ArynError::Exec(format!("{:?}: {e}", doc.id)));
+                }
+            }
+        }
+    }
+    Ok((out, failed, report))
+}
+
+fn extract_properties_batched(
+    client: &LlmClient,
+    schema: &Value,
+    selector: &ElementSelector,
+    docs: Vec<Document>,
+    cfg: BatchConfig,
+    skip_failures: bool,
+) -> Result<(Vec<Document>, usize, BatchReport)> {
+    let params = obj! { "schema" => schema.clone() };
+    let contexts: Vec<String> = docs
+        .iter()
+        .map(|d| {
+            client.fit_context(&selector.select_text(d), 512, |ctx| {
+                tasks::extract(schema, ctx)
+            })
+        })
+        .collect();
+    let (values, report) = run_batched(client, TaskKind::Extract, &params, &contexts, 512, cfg);
+    let mut out = Vec::with_capacity(docs.len());
+    let mut failed = 0usize;
+    for (mut doc, res) in docs.into_iter().zip(values) {
+        match res {
+            Ok(v) => {
+                if let Some(fields) = v.as_object() {
+                    for (k, val) in fields {
+                        // Same acceptance rule as the unbatched path: only
+                        // fields the schema asked for.
+                        if schema.get(k).is_some() {
+                            doc.properties.set_path(k, val.clone());
+                        }
+                    }
+                }
+                doc.lineage.push(
+                    LineageRecord::new("extract_properties", json::to_string(schema))
+                        .with_llm(1, 0.0),
+                );
+                out.push(doc);
+            }
+            Err(e) => {
+                if skip_failures {
+                    failed += 1;
+                } else {
+                    return Err(ArynError::Exec(format!("{:?}: {e}", doc.id)));
+                }
+            }
+        }
+    }
+    Ok((out, failed, report))
 }
 
 fn llm_classify(

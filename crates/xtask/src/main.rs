@@ -12,7 +12,13 @@
 //!    not call `model.generate(` directly — every completion goes through
 //!    the metered, retrying, cache-aware [`aryn_llm::LlmClient`], or the
 //!    usage meters, retry policy, and call cache silently under-count.
-//! 3. **Diagnostic-code doc check.** Every analyzer code
+//! 3. **Micro-batch bypass scan.** `sycamore::transforms` may keep exactly
+//!    its grandfathered per-document `client.generate*` sites (the unbatched
+//!    singleton paths). New semantic operators must route through
+//!    `aryn_llm::run_batched` so cross-document micro-batching (DESIGN.md
+//!    §5e) and per-item cache memoization apply to them; a new direct
+//!    per-doc generate loop silently opts the op out of both.
+//! 4. **Diagnostic-code doc check.** Every analyzer code
 //!    ([`luna::analyze::codes::ALL`]) and pipeline lint code
 //!    ([`sycamore::lint::codes::ALL`]) must be documented in `DESIGN.md`.
 
@@ -51,6 +57,7 @@ fn lint(root: &Path) -> Result<(), String> {
     let mut failures = Vec::new();
     forbidden_call_scan(root, &mut failures)?;
     model_call_scan(root, &mut failures)?;
+    batch_bypass_scan(root, &mut failures)?;
     doc_code_check(root, &mut failures)?;
     if failures.is_empty() {
         println!("xtask lint: ok");
@@ -197,6 +204,42 @@ fn model_call_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String
                  go through the metered/cached aryn_llm::LlmClient instead"
             ));
         }
+    }
+    Ok(())
+}
+
+// --- Micro-batch bypass scan ------------------------------------------------
+
+/// The grandfathered `client.generate*` sites in `sycamore::transforms`: the
+/// unbatched singleton paths of the existing semantic ops. Shrink when one
+/// is removed; never grow it — new ops go through `aryn_llm::run_batched`.
+const TRANSFORMS_GENERATE_BUDGET: usize = 7;
+
+/// New per-document `client.generate*` loops in `sycamore::transforms` opt
+/// the op out of cross-document micro-batching and per-item cache
+/// memoization (DESIGN.md §5e), so the site count is frozen at the budget.
+fn batch_bypass_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    let rel = "crates/sycamore/src/transforms.rs";
+    let path = root.join(rel);
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let sites = scan_source_for(&text, &[".generate_json(", ".generate("]);
+    if sites.len() > TRANSFORMS_GENERATE_BUDGET {
+        for (lineno, line) in &sites {
+            failures.push(format!("{rel}:{lineno}: per-doc model call in transforms: {line}"));
+        }
+        failures.push(format!(
+            "{rel}: {} direct generate site(s), budget {TRANSFORMS_GENERATE_BUDGET} — \
+             route new semantic ops through aryn_llm::run_batched (DESIGN.md §5e) \
+             instead of a per-document generate loop",
+            sites.len()
+        ));
+    } else if sites.len() < TRANSFORMS_GENERATE_BUDGET {
+        println!(
+            "xtask lint: note: {rel} generate budget {TRANSFORMS_GENERATE_BUDGET} but only {} \
+             site(s) — tighten the constant in crates/xtask/src/main.rs",
+            sites.len()
+        );
     }
     Ok(())
 }

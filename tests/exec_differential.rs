@@ -18,6 +18,7 @@ fn run_pipeline(threads: usize, fail_rate: f64, skip_failures: bool) -> (Vec<Doc
         max_retries: 10,
         skip_failures,
         seed: 0xD1FF,
+        ..ExecConfig::default()
     });
     let corpus = Corpus::ntsb(17, 14);
     ctx.register_corpus("ntsb", &corpus);
@@ -99,6 +100,57 @@ fn fail_stop_mode_is_also_thread_count_independent() {
     let (d1, _) = run_pipeline(1, 0.15, false);
     let (d8, _) = run_pipeline(8, 0.15, false);
     assert_identical(&d1, &d8, "fail-stop, fail_rate=0.15");
+}
+
+#[test]
+fn worker_doc_attribution_sums_to_docs_processed() {
+    // Per-worker document counts are exact (each worker publishes its local
+    // tally once at exit), so within every per-doc stage span the worker
+    // gauges must sum to exactly the documents the stage processed. The
+    // distribution across workers is scheduling-dependent; the sum is not.
+    for threads in [1, 4, 8] {
+        let ctx = Context::new().with_exec(ExecConfig {
+            threads,
+            seed: 0xD1FF,
+            ..ExecConfig::default()
+        });
+        let corpus = Corpus::ntsb(17, 14);
+        ctx.register_corpus("ntsb", &corpus);
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(17))));
+        ctx.read_lake("ntsb")
+            .unwrap()
+            .partition("ntsb", PartitionCfg::default())
+            .extract_properties(
+                &client,
+                obj! { "us_state_abbrev" => "string", "fatal" => "int" },
+            )
+            .explode()
+            .embed()
+            .collect_stats()
+            .unwrap();
+        let trace = ctx.telemetry().snapshot();
+        let mut attributed_stages = 0;
+        for span in trace.spans_of_kind("stage") {
+            let workers = span.gauge("workers") as usize;
+            if workers == 0 {
+                continue; // barrier stages carry no per-worker attribution
+            }
+            attributed_stages += 1;
+            let sum: usize = (0..workers)
+                .map(|w| span.gauge(&format!("worker_{w}_docs")) as usize)
+                .sum();
+            assert_eq!(
+                sum,
+                span.counter("rows_in") as usize,
+                "threads={threads}, stage {}: worker gauges must sum to docs processed",
+                span.name
+            );
+        }
+        assert!(
+            attributed_stages > 0,
+            "threads={threads}: expected at least one per-doc stage with worker gauges"
+        );
+    }
 }
 
 #[test]

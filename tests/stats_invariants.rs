@@ -20,6 +20,7 @@ fn conserving_pipeline(
         max_retries,
         skip_failures,
         seed: 42,
+        ..ExecConfig::default()
     });
     let corpus = Corpus::ntsb(9, 12);
     ctx.register_corpus("ntsb", &corpus);
