@@ -24,6 +24,12 @@ pub enum ArynError {
     /// Plan validation failed: the plan references unknown operators, fields,
     /// or has a malformed DAG.
     InvalidPlan(String),
+    /// The per-query reliability budget (simulated wall clock) ran out;
+    /// `(spent_ms, budget_ms)`.
+    DeadlineExceeded { spent_ms: f64, budget_ms: f64 },
+    /// A model endpoint's circuit breaker is open: recent calls failed at a
+    /// rate above threshold, so calls fail fast instead of burning retries.
+    CircuitOpen { model: String },
     /// Execution-time failure in a Sycamore pipeline.
     Exec(String),
     /// An index operation failed (unknown index, dimension mismatch, ...).
@@ -47,6 +53,13 @@ impl fmt::Display for ArynError {
                 f,
                 "context overflow: {needed} tokens needed, window is {window}"
             ),
+            ArynError::DeadlineExceeded { spent_ms, budget_ms } => write!(
+                f,
+                "deadline exceeded: {spent_ms:.0}ms spent of {budget_ms:.0}ms budget"
+            ),
+            ArynError::CircuitOpen { model } => {
+                write!(f, "circuit open: {model} is failing fast")
+            }
             ArynError::Plan(msg) => write!(f, "planning error: {msg}"),
             ArynError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             ArynError::Exec(msg) => write!(f, "execution error: {msg}"),

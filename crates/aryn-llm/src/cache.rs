@@ -27,7 +27,7 @@
 //! must not be memoized.
 
 use crate::model::Usage;
-use aryn_core::{json, obj, stable_hash, ArynError, Result, Value};
+use aryn_core::{json, obj, stable_hash, Result, Value};
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::PathBuf;
@@ -73,6 +73,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Subset of `hits` that waited on an in-flight leader.
     pub dedup_joins: u64,
+    /// Truncated or corrupt lines skipped while loading the disk tier
+    /// (crash-mid-append leaves a partial trailing line; it must not poison
+    /// the rest of the file).
+    pub corrupt_entries: u64,
     /// Simulated dollars the hits would have cost.
     pub cost_saved_usd: f64,
     /// Simulated latency the hits would have added.
@@ -89,6 +93,7 @@ impl CacheStats {
             inserts: self.inserts.saturating_sub(earlier.inserts),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             dedup_joins: self.dedup_joins.saturating_sub(earlier.dedup_joins),
+            corrupt_entries: self.corrupt_entries.saturating_sub(earlier.corrupt_entries),
             cost_saved_usd: (self.cost_saved_usd - earlier.cost_saved_usd).max(0.0),
             latency_saved_ms: (self.latency_saved_ms - earlier.latency_saved_ms).max(0.0),
         }
@@ -101,6 +106,7 @@ impl CacheStats {
         self.inserts += other.inserts;
         self.evictions += other.evictions;
         self.dedup_joins += other.dedup_joins;
+        self.corrupt_entries += other.corrupt_entries;
         self.cost_saved_usd += other.cost_saved_usd;
         self.latency_saved_ms += other.latency_saved_ms;
     }
@@ -210,12 +216,22 @@ impl LlmCallCache {
             let text = std::fs::read_to_string(&path)?;
             let mut g = lock(&self.inner);
             for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                let v = json::parse(line)?;
-                let key = v
+                // A crash mid-append leaves a truncated (or otherwise
+                // corrupt) line. Skip and count it; the rest of the file is
+                // still good — the cache is a performance layer, not a
+                // source of truth.
+                let Ok(v) = json::parse(line) else {
+                    g.stats.corrupt_entries += 1;
+                    continue;
+                };
+                let Some(key) = v
                     .get("key")
                     .and_then(Value::as_str)
                     .and_then(|s| u64::from_str_radix(s, 16).ok())
-                    .ok_or_else(|| ArynError::Io("llm_cache.jsonl: bad key field".into()))?;
+                else {
+                    g.stats.corrupt_entries += 1;
+                    continue;
+                };
                 let entry = CachedCall {
                     text: v
                         .get("text")
@@ -459,6 +475,7 @@ fn evict_over_capacity(g: &mut CacheInner, capacity: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aryn_core::ArynError;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -643,6 +660,43 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_disk_lines_are_skipped_and_counted() {
+        let dir = std::env::temp_dir().join(format!(
+            "aryn-llm-cache-corrupt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = LlmCallCache::with_capacity(8).with_disk(&dir).unwrap();
+        let k1 = CacheKey::for_call("m", "good one", 64, 0.0);
+        let k2 = CacheKey::for_call("m", "good two", 64, 0.0);
+        cache.get_or_compute(k1, || Ok(("v1".into(), usage(0.1)))).unwrap();
+        cache.get_or_compute(k2, || Ok(("v2".into(), usage(0.1)))).unwrap();
+        drop(cache);
+        // Simulate a crash mid-append (truncated trailing line) plus an
+        // entry with a mangled key field in the middle of the file.
+        let path = dir.join("llm_cache.jsonl");
+        let mut lines: Vec<String> =
+            std::fs::read_to_string(&path).unwrap().lines().map(String::from).collect();
+        lines.insert(1, "{\"key\": \"not-hex!\", \"text\": \"zzz\"}".to_string());
+        let mut text = lines.join("\n");
+        text.push_str("\n{\"key\": \"0000000000000001\", \"te");
+        std::fs::write(&path, text).unwrap();
+        let warm = LlmCallCache::with_capacity(8).with_disk(&dir).unwrap();
+        assert_eq!(warm.len(), 2, "both intact entries survive the corruption");
+        assert_eq!(warm.stats().corrupt_entries, 2);
+        assert!(warm
+            .get_or_compute(k1, || panic!("should be served from disk"))
+            .unwrap()
+            .hit);
+        assert!(warm
+            .get_or_compute(k2, || panic!("should be served from disk"))
+            .unwrap()
+            .hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stats_since_and_merge() {
         let a = CacheStats {
             hits: 5,
@@ -650,6 +704,7 @@ mod tests {
             inserts: 3,
             evictions: 1,
             dedup_joins: 2,
+            corrupt_entries: 2,
             cost_saved_usd: 1.0,
             latency_saved_ms: 10.0,
         };
@@ -659,6 +714,7 @@ mod tests {
             inserts: 1,
             evictions: 0,
             dedup_joins: 1,
+            corrupt_entries: 1,
             cost_saved_usd: 0.25,
             latency_saved_ms: 4.0,
         };

@@ -9,6 +9,7 @@
 
 use crate::cache::{CacheKey, CacheStats, LlmCallCache};
 use crate::model::{LanguageModel, LlmRequest, Usage};
+use crate::reliability::ReliabilityState;
 use aryn_core::text::{count_tokens, truncate_tokens};
 use aryn_core::{json, ArynError, Result, Value};
 use parking_lot::Mutex;
@@ -30,6 +31,14 @@ pub struct UsageStats {
     /// Model calls avoided by packing: for each packed call that resolved
     /// `m` items, `m - 1` calls an unbatched run would have issued.
     pub calls_saved: u64,
+    /// Circuit-breaker transitions to open observed by this client.
+    pub breaker_trips: u64,
+    /// Logical calls answered by a fallback tier instead of the primary
+    /// model (see [`LlmClient::with_fallback`]).
+    pub fallback_calls: u64,
+    /// Documents whose result came from a degraded path (fallback model or
+    /// the string-match tier) and were flagged as such.
+    pub degraded_docs: u64,
     pub usage: Usage,
 }
 
@@ -48,6 +57,9 @@ impl UsageStats {
             batched_calls: self.batched_calls.saturating_sub(earlier.batched_calls),
             batched_items: self.batched_items.saturating_sub(earlier.batched_items),
             calls_saved: self.calls_saved.saturating_sub(earlier.calls_saved),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            fallback_calls: self.fallback_calls.saturating_sub(earlier.fallback_calls),
+            degraded_docs: self.degraded_docs.saturating_sub(earlier.degraded_docs),
             usage: Usage {
                 input_tokens: self.usage.input_tokens.saturating_sub(earlier.usage.input_tokens),
                 output_tokens: self
@@ -70,6 +82,9 @@ impl UsageStats {
         self.batched_calls += other.batched_calls;
         self.batched_items += other.batched_items;
         self.calls_saved += other.calls_saved;
+        self.breaker_trips += other.breaker_trips;
+        self.fallback_calls += other.fallback_calls;
+        self.degraded_docs += other.degraded_docs;
         self.usage.add(&other.usage);
     }
 }
@@ -125,6 +140,14 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Result of a degradation-aware structured call: the parsed value plus
+/// which fallback model answered (None when the primary did).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedJson {
+    pub value: Value,
+    pub degraded_to: Option<String>,
+}
+
 /// A metering, retrying client over a [`LanguageModel`].
 #[derive(Clone)]
 pub struct LlmClient {
@@ -132,6 +155,8 @@ pub struct LlmClient {
     meter: Arc<UsageMeter>,
     policy: RetryPolicy,
     cache: Option<Arc<LlmCallCache>>,
+    reliability: Option<Arc<ReliabilityState>>,
+    fallback: Option<Box<LlmClient>>,
 }
 
 impl LlmClient {
@@ -141,6 +166,8 @@ impl LlmClient {
             meter: UsageMeter::new(),
             policy: RetryPolicy::default(),
             cache: None,
+            reliability: None,
+            fallback: None,
         }
     }
 
@@ -163,6 +190,64 @@ impl LlmClient {
     pub fn with_cache(mut self, cache: Arc<LlmCallCache>) -> LlmClient {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches shared reliability state (deadline budget + per-model
+    /// breakers; see [`crate::reliability`]). With the default (inert)
+    /// policy this is a no-op: call counts and usage accounting are
+    /// byte-identical to a client with no reliability state.
+    pub fn with_reliability(mut self, state: Arc<ReliabilityState>) -> LlmClient {
+        self.reliability = Some(state);
+        self
+    }
+
+    /// Chains a cheaper fallback client behind this one. Degradation-aware
+    /// callers ([`LlmClient::generate_json_with_fallback`]) walk the chain
+    /// when this tier's breaker is open, its budget is low, or its retry
+    /// ladder is exhausted.
+    pub fn with_fallback(mut self, fallback: LlmClient) -> LlmClient {
+        self.fallback = Some(Box::new(fallback));
+        self
+    }
+
+    /// Wraps the underlying model in a [`crate::chaos::ChaosModel`] with the
+    /// given fault schedule. The wrapper gets a fresh call clock, so each
+    /// wrapped client sees the schedule from call index 0.
+    pub fn with_chaos(mut self, schedule: crate::chaos::ChaosSchedule) -> LlmClient {
+        self.model = Arc::new(crate::chaos::ChaosModel::wrap(
+            Arc::clone(&self.model),
+            schedule,
+        ));
+        self
+    }
+
+    pub fn reliability(&self) -> Option<Arc<ReliabilityState>> {
+        self.reliability.clone()
+    }
+
+    pub fn fallback(&self) -> Option<&LlmClient> {
+        self.fallback.as_deref()
+    }
+
+    /// This client followed by its transitive fallbacks (primary first).
+    /// Stage accounting walks this so fallback-tier meters are attributed
+    /// to the stage that used them.
+    pub fn fallback_chain(&self) -> Vec<&LlmClient> {
+        let mut chain = vec![self];
+        let mut cur = self;
+        while let Some(next) = cur.fallback.as_deref() {
+            chain.push(next);
+            cur = next;
+        }
+        chain
+    }
+
+    /// Flags `n` documents as degraded in the meter (called by transforms
+    /// when a document's result came from a fallback tier or string-match).
+    pub fn note_degraded_docs(&self, n: u64) {
+        if n > 0 {
+            self.meter.bump(|s| s.degraded_docs += n);
+        }
     }
 
     pub fn model_name(&self) -> &str {
@@ -281,16 +366,62 @@ impl LlmClient {
         temperature: f32,
         attempt_base: u32,
     ) -> Result<(String, Usage)> {
+        // Reliability gates only engage with an explicit, non-inert policy;
+        // otherwise this loop is byte-identical to the ungated client.
+        let rel = self.reliability.as_deref().filter(|r| r.policy().enabled());
+        let breaker = rel.and_then(|r| r.breaker(self.model.name()));
         let mut last_err = None;
         // A policy of 0 transient retries still means one attempt: the model
         // must be called at least once per logical request.
         for attempt in 0..self.policy.max_transient.max(1) {
+            if let Some(r) = rel {
+                r.check_deadline()?;
+            }
+            if let Some(b) = &breaker {
+                if !b.allow(rel.map_or(0.0, |r| r.now_ms())) {
+                    return Err(ArynError::CircuitOpen {
+                        model: self.model.name().to_string(),
+                    });
+                }
+            }
             let req = LlmRequest::new(prompt)
                 .with_max_tokens(max_output)
                 .with_temperature(temperature)
                 .with_attempt(attempt_base + attempt);
             match self.model.generate(&req) {
                 Ok(resp) => {
+                    let model_latency_ms = resp.usage.latency_ms;
+                    if let Some(r) = rel {
+                        let p = r.policy();
+                        if p.call_timeout_ms > 0.0 && model_latency_ms > p.call_timeout_ms {
+                            // Simulated per-call timeout: the caller would
+                            // have hung up. Charge the timeout, fail the
+                            // breaker, and retry like any transient failure.
+                            r.charge(p.call_timeout_ms);
+                            if let Some(b) = &breaker {
+                                if b.record(false, r.now_ms()) {
+                                    self.meter.bump(|s| s.breaker_trips += 1);
+                                }
+                            }
+                            self.meter.bump(|s| {
+                                s.transient_failures += 1;
+                                s.retries += 1;
+                            });
+                            last_err = Some(ArynError::Llm(format!(
+                                "{}: call timed out ({:.0}ms > {:.0}ms budget)",
+                                self.model.name(),
+                                model_latency_ms,
+                                p.call_timeout_ms
+                            )));
+                            continue;
+                        }
+                        // Backoff was charged per failure below; only the
+                        // model's own latency joins the budget here.
+                        r.charge(model_latency_ms);
+                        if let Some(b) = &breaker {
+                            b.record(true, r.now_ms());
+                        }
+                    }
                     let mut usage = resp.usage;
                     // Simulated backoff time joins the latency account.
                     if attempt > 0 {
@@ -305,6 +436,21 @@ impl LlmClient {
                         s.transient_failures += 1;
                         s.retries += 1;
                     });
+                    if let Some(r) = rel {
+                        // Exponential backoff with seeded jitter, charged to
+                        // the virtual clock instead of sleeping.
+                        let backoff = r.policy().backoff_ms(
+                            self.policy.backoff_base_ms,
+                            self.model.name(),
+                            attempt + 1,
+                        );
+                        r.charge(backoff);
+                        if let Some(b) = &breaker {
+                            if b.record(false, r.now_ms()) {
+                                self.meter.bump(|s| s.breaker_trips += 1);
+                            }
+                        }
+                    }
                     last_err = Some(e);
                 }
             }
@@ -347,6 +493,57 @@ impl LlmClient {
             self.model.name(),
             self.policy.max_reask
         )))
+    }
+
+    /// A structured call that walks the degradation chain. Each tier fits
+    /// `context` to its own window via `prompt_fn` and runs the full
+    /// `generate_json` ladder; the next (cheaper) tier is tried when a tier
+    /// fails with [`ArynError::CircuitOpen`], [`ArynError::DeadlineExceeded`],
+    /// or an exhausted retry ladder. When the deadline budget is low, tiers
+    /// with a fallback are skipped proactively (why pay for GPT-4 when the
+    /// answer may not land in time). With no fallback and no reliability
+    /// state this is exactly `fit_prompt` + `generate_json`.
+    pub fn generate_json_with_fallback(
+        &self,
+        context: &str,
+        max_output: usize,
+        prompt_fn: &dyn Fn(&str) -> String,
+    ) -> Result<DegradedJson> {
+        let mut tier = Some(self);
+        let mut primary = true;
+        let mut last_err = None;
+        while let Some(c) = tier {
+            // Proactive degradation: skip an expensive tier outright when
+            // the remaining budget is below the policy threshold and a
+            // cheaper tier exists.
+            let skip = c.fallback.is_some()
+                && c.reliability.as_deref().is_some_and(|r| r.budget_low());
+            if !skip {
+                let prompt = c.fit_prompt(context, max_output, prompt_fn);
+                match c.generate_json(&prompt, max_output) {
+                    Ok(value) => {
+                        if !primary {
+                            self.meter.bump(|s| s.fallback_calls += 1);
+                        }
+                        return Ok(DegradedJson {
+                            value,
+                            degraded_to: (!primary).then(|| c.model_name().to_string()),
+                        });
+                    }
+                    // These are the degradation triggers; anything else
+                    // (context overflow, IO) propagates unchanged.
+                    Err(
+                        e @ (ArynError::CircuitOpen { .. }
+                        | ArynError::DeadlineExceeded { .. }
+                        | ArynError::Llm(_)),
+                    ) => last_err = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            tier = c.fallback.as_deref();
+            primary = false;
+        }
+        Err(last_err.unwrap_or_else(|| ArynError::Llm("no model tiers available".into())))
     }
 
     /// Runs `generate_json` over many prompts, preserving order. (The
@@ -531,6 +728,125 @@ mod tests {
         // Second query hit the cached garbage, then re-asked the model again.
         assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
         assert_eq!(c.stats().calls, 3, "temp0 + reask, then reask only");
+    }
+
+    #[test]
+    fn inert_reliability_policy_changes_nothing() {
+        use crate::reliability::{ReliabilityPolicy, ReliabilityState};
+        let state = ReliabilityState::new(ReliabilityPolicy::default());
+        let c = client(&GPT4_SIM, SimConfig::perfect(1)).with_reliability(state);
+        let p = tasks::extract(&obj! { "city" => "string" }, "Happened near Denver, CO.");
+        let v = c.generate_json(&p, 256).unwrap();
+        assert_eq!(v.get("city").unwrap().as_str(), Some("Denver"));
+        let s = c.stats();
+        assert_eq!((s.calls, s.retries, s.breaker_trips), (1, 0, 0));
+    }
+
+    #[test]
+    fn breaker_trips_then_fails_fast() {
+        use crate::chaos::{ChaosModel, ChaosSchedule, FaultKind};
+        use crate::reliability::{ReliabilityPolicy, ReliabilityState};
+        let dead = Arc::new(ChaosModel::wrap(
+            Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(1))),
+            ChaosSchedule::calm().with_window(FaultKind::Blackout, 0, 1_000),
+        ));
+        let state = ReliabilityState::new(ReliabilityPolicy {
+            breaker_window: 4,
+            breaker_threshold: 0.5,
+            breaker_cooldown_ms: 1e9,
+            ..ReliabilityPolicy::default()
+        });
+        let c = LlmClient::new(Arc::clone(&dead) as Arc<dyn LanguageModel>)
+            .with_reliability(state);
+        // First logical call burns the retry ladder (4 attempts) and trips
+        // the breaker on the 4th failure.
+        let err = c.generate("hello", 32).unwrap_err();
+        assert!(matches!(err, ArynError::Llm(_)), "{err}");
+        assert_eq!(dead.calls(), 4);
+        assert_eq!(c.stats().breaker_trips, 1);
+        // Subsequent calls fail fast without touching the endpoint.
+        let err = c.generate("hello again", 32).unwrap_err();
+        assert!(matches!(err, ArynError::CircuitOpen { ref model } if model == "gpt-4-sim"));
+        assert_eq!(dead.calls(), 4, "open breaker must not call the model");
+    }
+
+    #[test]
+    fn deadline_exceeded_is_structured() {
+        use crate::reliability::{ReliabilityPolicy, ReliabilityState};
+        let state = ReliabilityState::new(ReliabilityPolicy {
+            deadline_ms: 500.0,
+            ..ReliabilityPolicy::default()
+        });
+        let c = client(&GPT4_SIM, SimConfig::perfect(1)).with_reliability(Arc::clone(&state));
+        // GPT-4-sim's base latency alone (450ms) nearly exhausts the budget.
+        let p = tasks::filter("mentions wind", "gusty wind all day");
+        c.generate(&p, 64).unwrap();
+        assert!(state.now_ms() >= 450.0);
+        let err = c.generate(&tasks::filter("mentions rain", "heavy rain"), 64).unwrap_err();
+        assert!(matches!(err, ArynError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn fallback_chain_answers_and_flags_degradation() {
+        use crate::chaos::{ChaosModel, ChaosSchedule, FaultKind};
+        use crate::reliability::{ReliabilityPolicy, ReliabilityState};
+        let dead = Arc::new(ChaosModel::wrap(
+            Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(1))),
+            ChaosSchedule::calm().with_window(FaultKind::Blackout, 0, 1_000),
+        ));
+        let state = ReliabilityState::new(ReliabilityPolicy {
+            breaker_window: 4,
+            breaker_threshold: 0.5,
+            breaker_cooldown_ms: 1e9,
+            ..ReliabilityPolicy::default()
+        });
+        let llama = client(&LLAMA7B_SIM, SimConfig::perfect(1))
+            .with_reliability(Arc::clone(&state));
+        let c = LlmClient::new(Arc::clone(&dead) as Arc<dyn LanguageModel>)
+            .with_reliability(state)
+            .with_fallback(llama);
+        let out = c
+            .generate_json_with_fallback("Happened near Denver, CO.", 256, &|ctx| {
+                tasks::extract(&obj! { "city" => "string" }, ctx)
+            })
+            .unwrap();
+        assert_eq!(out.degraded_to.as_deref(), Some("llama-7b-sim"));
+        assert_eq!(out.value.get("city").unwrap().as_str(), Some("Denver"));
+        assert_eq!(c.stats().fallback_calls, 1);
+        // Second call: the open breaker skips the dead endpoint entirely.
+        let calls_before = dead.calls();
+        let out = c
+            .generate_json_with_fallback("Happened near Austin, TX.", 256, &|ctx| {
+                tasks::extract(&obj! { "city" => "string" }, ctx)
+            })
+            .unwrap();
+        assert_eq!(out.degraded_to.as_deref(), Some("llama-7b-sim"));
+        assert_eq!(dead.calls(), calls_before);
+    }
+
+    #[test]
+    fn low_budget_skips_the_expensive_tier_proactively() {
+        use crate::reliability::{ReliabilityPolicy, ReliabilityState};
+        let state = ReliabilityState::new(ReliabilityPolicy {
+            deadline_ms: 10_000.0,
+            degrade_below_ms: 20_000.0, // remaining (10s) is already "low"
+            ..ReliabilityPolicy::default()
+        });
+        let gpt4_meter = UsageMeter::new();
+        let llama = client(&LLAMA7B_SIM, SimConfig::perfect(1))
+            .with_reliability(Arc::clone(&state));
+        let c = client(&GPT4_SIM, SimConfig::perfect(1))
+            .with_meter(Arc::clone(&gpt4_meter))
+            .with_reliability(state)
+            .with_fallback(llama);
+        let out = c
+            .generate_json_with_fallback("Happened near Denver, CO.", 256, &|ctx| {
+                tasks::extract(&obj! { "city" => "string" }, ctx)
+            })
+            .unwrap();
+        assert_eq!(out.degraded_to.as_deref(), Some("llama-7b-sim"));
+        assert_eq!(gpt4_meter.snapshot().calls, 0, "primary tier skipped");
+        assert_eq!(c.stats().fallback_calls, 1);
     }
 
     #[test]

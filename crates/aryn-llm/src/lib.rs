@@ -10,17 +10,21 @@
 
 pub mod batch;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod embed;
 pub mod mock;
 pub mod model;
 pub mod prompt;
 pub mod registry;
+pub mod reliability;
 pub mod semantics;
 
 pub use batch::{run_batched, BatchConfig, BatchReport};
 pub use cache::{CacheKey, CacheStats, LlmCallCache};
-pub use client::{LlmClient, RetryPolicy, UsageMeter, UsageStats};
+pub use chaos::{ChaosModel, ChaosSchedule, FaultKind, FaultWindow};
+pub use client::{DegradedJson, LlmClient, RetryPolicy, UsageMeter, UsageStats};
+pub use reliability::{BreakerState, CircuitBreaker, ReliabilityPolicy, ReliabilityState};
 pub use embed::{cosine, EmbeddingModel, HashedBowEmbedder};
 pub use mock::{EngineCtx, MockLlm, SimConfig, TaskEngine};
 pub use model::{LanguageModel, LlmRequest, LlmResponse, Usage};

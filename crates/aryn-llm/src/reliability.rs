@@ -1,0 +1,421 @@
+//! Reliability layer: deadlines, circuit breakers, and degradation state.
+//!
+//! Long-running semantic pipelines need more than a flat retry loop: a
+//! persistently-failing endpoint would burn the full retry ladder for every
+//! document, and an unlucky run has no bound on total (simulated) wall time.
+//! This module adds the three missing mechanisms the paper's production
+//! stack leans on (§5.3 fault tolerance, §6 model choice):
+//!
+//! 1. a per-query **deadline budget** enforced against the simulated clock
+//!    ([`Usage::latency_ms`](crate::model::Usage) — no real sleeping), with
+//!    exponential backoff plus seeded jitter charged into that clock;
+//! 2. a per-model **circuit breaker** (closed → open on a sliding-window
+//!    failure rate → half-open probe) so dead endpoints fail fast with a
+//!    structured [`ArynError::CircuitOpen`];
+//! 3. shared [`ReliabilityState`] that degradation chains consult to decide
+//!    when to fall back to a cheaper model (see
+//!    [`LlmClient::with_fallback`](crate::client::LlmClient::with_fallback)).
+//!
+//! Everything is inert by default: [`ReliabilityPolicy::default`] disables
+//! every mechanism, so clients without an explicit policy behave exactly as
+//! before (same call counts, same usage accounting).
+
+use aryn_core::{stable_hash, ArynError, Result};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Knobs for the reliability layer. All-zero (the default) disables it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityPolicy {
+    /// Per-call timeout on the simulated clock, in ms. A successful response
+    /// whose simulated latency exceeds this counts as a timeout failure
+    /// (charged at the timeout, recorded against the breaker) and is retried.
+    /// `0.0` disables call timeouts.
+    pub call_timeout_ms: f64,
+    /// Per-query deadline on the simulated clock, in ms. Once the budget is
+    /// spent, calls fail with [`ArynError::DeadlineExceeded`]. `0.0` disables
+    /// the deadline.
+    pub deadline_ms: f64,
+    /// Sliding-window size for the circuit breaker (outcomes per model).
+    /// `0` disables breakers.
+    pub breaker_window: usize,
+    /// Failure-rate threshold in `[0,1]` that opens the breaker once the
+    /// window is full.
+    pub breaker_threshold: f64,
+    /// Simulated ms an open breaker waits before admitting a half-open probe.
+    pub breaker_cooldown_ms: f64,
+    /// Seed for the backoff jitter (mixed with model name and attempt).
+    pub jitter_seed: u64,
+    /// When the remaining deadline budget drops below this many simulated ms,
+    /// degradation chains skip the primary model and go straight to the
+    /// cheaper fallback. `0.0` disables proactive degradation.
+    pub degrade_below_ms: f64,
+}
+
+impl Default for ReliabilityPolicy {
+    fn default() -> Self {
+        ReliabilityPolicy {
+            call_timeout_ms: 0.0,
+            deadline_ms: 0.0,
+            breaker_window: 0,
+            breaker_threshold: 0.5,
+            breaker_cooldown_ms: 0.0,
+            jitter_seed: 0x5EED,
+            degrade_below_ms: 0.0,
+        }
+    }
+}
+
+impl ReliabilityPolicy {
+    /// A sane non-trivial policy for tests and examples: 10s call timeout,
+    /// 5-minute query deadline, breaker opening at 50% failures over a
+    /// 8-call window with a 30s cooldown.
+    pub fn standard() -> ReliabilityPolicy {
+        ReliabilityPolicy {
+            call_timeout_ms: 10_000.0,
+            deadline_ms: 300_000.0,
+            breaker_window: 8,
+            breaker_threshold: 0.5,
+            breaker_cooldown_ms: 30_000.0,
+            jitter_seed: 0x5EED,
+            degrade_below_ms: 5_000.0,
+        }
+    }
+
+    /// True when any mechanism is active. Inert policies make the client
+    /// byte-identical to one with no reliability state at all.
+    pub fn enabled(&self) -> bool {
+        self.call_timeout_ms > 0.0 || self.deadline_ms > 0.0 || self.breaker_window > 0
+    }
+
+    /// Exponential backoff with seeded jitter for a retry `attempt` (1-based)
+    /// against `model`, in simulated ms. Deterministic for a given policy.
+    pub fn backoff_ms(&self, base_ms: f64, model: &str, attempt: u32) -> f64 {
+        let exp = base_ms * ((1u64 << (attempt.saturating_sub(1)).min(16)) as f64);
+        let h = stable_hash(self.jitter_seed ^ attempt as u64, &[model, "jitter"]);
+        // Jitter in [0, 0.5) of the exponential term, seeded and stable.
+        let frac = ((h >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+        exp * (1.0 + frac)
+    }
+}
+
+/// Circuit-breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; outcomes feed the sliding window.
+    Closed,
+    /// Failing fast; calls are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; one probe call is admitted to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Recent call outcomes, `true` = success.
+    window: VecDeque<bool>,
+    /// Simulated-clock instant the breaker last opened.
+    opened_at_ms: f64,
+    trips: u64,
+}
+
+/// Per-model circuit breaker over the simulated clock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    window_size: usize,
+    threshold: f64,
+    cooldown_ms: f64,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(window_size: usize, threshold: f64, cooldown_ms: f64) -> CircuitBreaker {
+        CircuitBreaker {
+            window_size,
+            threshold,
+            cooldown_ms,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                window: VecDeque::new(),
+                opened_at_ms: 0.0,
+                trips: 0,
+            }),
+        }
+    }
+
+    /// Whether a call may proceed at simulated instant `now_ms`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the probe.
+    pub fn allow(&self, now_ms: f64) -> bool {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_ms - g.opened_at_ms >= self.cooldown_ms {
+                    g.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a call outcome at simulated instant `now_ms`. Returns `true`
+    /// when this outcome tripped the breaker open (for trip metering).
+    pub fn record(&self, ok: bool, now_ms: f64) -> bool {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::HalfOpen => {
+                if ok {
+                    // Probe succeeded: close and start a fresh window.
+                    g.state = BreakerState::Closed;
+                    g.window.clear();
+                    false
+                } else {
+                    // Probe failed: re-open and restart the cooldown.
+                    g.state = BreakerState::Open;
+                    g.opened_at_ms = now_ms;
+                    g.trips += 1;
+                    true
+                }
+            }
+            BreakerState::Open => false, // rejected callers don't feed the window
+            BreakerState::Closed => {
+                g.window.push_back(ok);
+                if g.window.len() > self.window_size {
+                    g.window.pop_front();
+                }
+                let full = g.window.len() >= self.window_size;
+                let failures = g.window.iter().filter(|o| !**o).count();
+                let rate = failures as f64 / g.window.len().max(1) as f64;
+                if full && rate >= self.threshold {
+                    g.state = BreakerState::Open;
+                    g.opened_at_ms = now_ms;
+                    g.trips += 1;
+                    g.window.clear();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Times this breaker has transitioned closed/half-open → open.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().trips
+    }
+}
+
+/// The per-query virtual clock: simulated ms spent vs. the deadline.
+#[derive(Debug, Default)]
+struct BudgetInner {
+    spent_ms: f64,
+}
+
+/// Shared reliability state for one query (or one pipeline run): the policy,
+/// the deadline budget, and per-model breakers. Clone the `Arc` to share
+/// across a degradation chain so all tiers draw from one budget.
+#[derive(Debug)]
+pub struct ReliabilityState {
+    policy: ReliabilityPolicy,
+    budget: Mutex<BudgetInner>,
+    breakers: Mutex<BTreeMap<String, Arc<CircuitBreaker>>>,
+}
+
+impl ReliabilityState {
+    pub fn new(policy: ReliabilityPolicy) -> Arc<ReliabilityState> {
+        Arc::new(ReliabilityState {
+            policy,
+            budget: Mutex::new(BudgetInner::default()),
+            breakers: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    pub fn policy(&self) -> ReliabilityPolicy {
+        self.policy
+    }
+
+    /// The simulated instant "now": total charged ms so far.
+    pub fn now_ms(&self) -> f64 {
+        self.budget.lock().spent_ms
+    }
+
+    /// Charges simulated time against the deadline budget.
+    pub fn charge(&self, ms: f64) {
+        self.budget.lock().spent_ms += ms;
+    }
+
+    /// Errs with [`ArynError::DeadlineExceeded`] once the budget is spent.
+    pub fn check_deadline(&self) -> Result<()> {
+        if self.policy.deadline_ms <= 0.0 {
+            return Ok(());
+        }
+        let spent = self.now_ms();
+        if spent >= self.policy.deadline_ms {
+            Err(ArynError::DeadlineExceeded {
+                spent_ms: spent,
+                budget_ms: self.policy.deadline_ms,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Simulated ms left before the deadline (infinite when disabled).
+    pub fn remaining_ms(&self) -> f64 {
+        if self.policy.deadline_ms <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.policy.deadline_ms - self.now_ms()).max(0.0)
+        }
+    }
+
+    /// True when the remaining budget has dropped below the proactive
+    /// degradation threshold (never true when either knob is disabled).
+    pub fn budget_low(&self) -> bool {
+        self.policy.degrade_below_ms > 0.0 && self.remaining_ms() < self.policy.degrade_below_ms
+    }
+
+    /// Resets the spent clock (a new query starts with a fresh budget).
+    /// Breaker state is intentionally preserved: endpoint health outlives
+    /// any one query.
+    pub fn reset_budget(&self) {
+        self.budget.lock().spent_ms = 0.0;
+    }
+
+    /// The breaker for `model`, created on first use (`None` when breakers
+    /// are disabled by the policy).
+    pub fn breaker(&self, model: &str) -> Option<Arc<CircuitBreaker>> {
+        if self.policy.breaker_window == 0 {
+            return None;
+        }
+        let mut g = self.breakers.lock();
+        Some(Arc::clone(g.entry(model.to_string()).or_insert_with(|| {
+            Arc::new(CircuitBreaker::new(
+                self.policy.breaker_window,
+                self.policy.breaker_threshold,
+                self.policy.breaker_cooldown_ms,
+            ))
+        })))
+    }
+
+    /// Total breaker trips across all models.
+    pub fn total_trips(&self) -> u64 {
+        self.breakers.lock().values().map(|b| b.trips()).sum()
+    }
+
+    /// Breaker states by model name (for explain/debug output).
+    pub fn breaker_states(&self) -> BTreeMap<String, BreakerState> {
+        self.breakers
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.state()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_inert() {
+        let p = ReliabilityPolicy::default();
+        assert!(!p.enabled());
+        let state = ReliabilityState::new(p);
+        assert!(state.check_deadline().is_ok());
+        assert!(state.breaker("gpt-4-sim").is_none());
+        assert!(!state.budget_low());
+        assert_eq!(state.remaining_ms(), f64::INFINITY);
+    }
+
+    #[test]
+    fn deadline_trips_after_budget_spent() {
+        let state = ReliabilityState::new(ReliabilityPolicy {
+            deadline_ms: 100.0,
+            ..ReliabilityPolicy::default()
+        });
+        assert!(state.check_deadline().is_ok());
+        state.charge(60.0);
+        assert!(state.check_deadline().is_ok());
+        state.charge(60.0);
+        match state.check_deadline() {
+            Err(ArynError::DeadlineExceeded { spent_ms, budget_ms }) => {
+                assert_eq!(budget_ms, 100.0);
+                assert!(spent_ms >= 100.0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_opens_half_opens_and_recovers() {
+        let b = CircuitBreaker::new(4, 0.5, 50.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Fill the window with failures: trips open on the 4th outcome.
+        assert!(!b.record(false, 0.0));
+        assert!(!b.record(false, 1.0));
+        assert!(!b.record(true, 2.0));
+        assert!(b.record(false, 3.0), "window full at 75% failures should trip");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Rejected during cooldown, admitted after.
+        assert!(!b.allow(10.0));
+        assert!(b.allow(60.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe re-opens (another trip), successful probe closes.
+        assert!(b.record(false, 61.0));
+        assert_eq!((b.state(), b.trips()), (BreakerState::Open, 2));
+        assert!(b.allow(120.0));
+        assert!(!b.record(true, 121.0));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = ReliabilityPolicy { jitter_seed: 7, ..ReliabilityPolicy::default() };
+        let a = p.backoff_ms(100.0, "gpt-4-sim", 1);
+        let b = p.backoff_ms(100.0, "gpt-4-sim", 1);
+        assert_eq!(a, b, "same inputs, same jitter");
+        assert!((100.0..150.0).contains(&a), "attempt 1 in [base, 1.5*base): {a}");
+        let c = p.backoff_ms(100.0, "gpt-4-sim", 3);
+        assert!((400.0..600.0).contains(&c), "attempt 3 in [4*base, 6*base): {c}");
+        assert_ne!(
+            p.backoff_ms(100.0, "gpt-4-sim", 1),
+            p.backoff_ms(100.0, "llama-7b-sim", 1),
+            "jitter varies by model"
+        );
+    }
+
+    #[test]
+    fn state_budget_resets_but_breakers_persist() {
+        let state = ReliabilityState::new(ReliabilityPolicy {
+            deadline_ms: 100.0,
+            breaker_window: 2,
+            breaker_threshold: 0.5,
+            breaker_cooldown_ms: 1000.0,
+            ..ReliabilityPolicy::default()
+        });
+        let b = state.breaker("m").unwrap();
+        b.record(false, 0.0);
+        b.record(false, 1.0);
+        assert_eq!(state.total_trips(), 1);
+        state.charge(200.0);
+        assert!(state.check_deadline().is_err());
+        state.reset_budget();
+        assert!(state.check_deadline().is_ok());
+        assert_eq!(state.total_trips(), 1, "breakers survive budget reset");
+        assert_eq!(
+            state.breaker_states().get("m"),
+            Some(&BreakerState::Open)
+        );
+    }
+}

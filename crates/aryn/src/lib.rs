@@ -28,7 +28,10 @@ pub use sycamore;
 pub mod prelude {
     pub use aryn_core::{obj, BBox, DocId, Document, Element, ElementType, Table, Value};
     pub use aryn_docgen::{Corpus, NtsbRecord};
-    pub use aryn_llm::{LlmClient, MockLlm, SimConfig, GPT35_SIM, GPT4_SIM, LLAMA7B_SIM};
+    pub use aryn_llm::{
+        ChaosSchedule, FaultKind, LlmClient, MockLlm, ReliabilityPolicy, SimConfig, GPT35_SIM,
+        GPT4_SIM, LLAMA7B_SIM,
+    };
     pub use aryn_partitioner::{Detector, Partitioner, PartitionerOptions};
     pub use aryn_telemetry::{Telemetry, Trace};
     pub use luna::{ingest_lake, Luna, LunaConfig};

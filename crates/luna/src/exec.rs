@@ -75,6 +75,15 @@ pub struct NodeTrace {
     pub batched_calls: u64,
     /// LLM calls avoided by micro-batching during this node.
     pub calls_saved: u64,
+    /// Circuit-breaker trips (closed → open) during this node (0 when no
+    /// reliability policy is installed).
+    pub breaker_trips: u64,
+    /// Calls answered by a cheaper fallback tier of a degradation ladder
+    /// during this node.
+    pub fallback_calls: u64,
+    /// Documents this node flagged `_degraded` (answered by a fallback
+    /// model, string matching, or skipped under a breaker/deadline).
+    pub degraded_docs: u64,
     /// Up to three sample row ids (provenance peek).
     pub sample_ids: Vec<String>,
     /// Scalar output, if the node produced one.
@@ -126,6 +135,18 @@ impl LunaResult {
 
     pub fn total_calls_saved(&self) -> u64 {
         self.traces.iter().map(|t| t.calls_saved).sum()
+    }
+
+    pub fn total_breaker_trips(&self) -> u64 {
+        self.traces.iter().map(|t| t.breaker_trips).sum()
+    }
+
+    pub fn total_fallback_calls(&self) -> u64 {
+        self.traces.iter().map(|t| t.fallback_calls).sum()
+    }
+
+    pub fn total_degraded_docs(&self) -> u64 {
+        self.traces.iter().map(|t| t.degraded_docs).sum()
     }
 
     /// Renders the execution history as a table (the debugging view §6.1).
@@ -234,6 +255,9 @@ impl PlanExecutor {
                 cost_saved_usd: cache_delta.cost_saved_usd,
                 batched_calls: delta.batched_calls,
                 calls_saved: delta.calls_saved,
+                breaker_trips: delta.breaker_trips,
+                fallback_calls: delta.fallback_calls,
+                degraded_docs: delta.degraded_docs,
                 sample_ids: out
                     .rows()
                     .map(|r| r.iter().take(3).map(|d| d.id.0.clone()).collect())
@@ -301,11 +325,13 @@ impl PlanExecutor {
         let mut seen: Vec<*const aryn_llm::LlmCallCache> = Vec::new();
         let mut total = aryn_llm::CacheStats::default();
         for client in std::iter::once(&self.client).chain(self.model_clients.values()) {
-            if let Some(cache) = client.cache() {
-                let ptr = std::sync::Arc::as_ptr(&cache);
-                if !seen.contains(&ptr) {
-                    seen.push(ptr);
-                    total.merge(&cache.stats());
+            for tier in client.fallback_chain() {
+                if let Some(cache) = tier.cache() {
+                    let ptr = std::sync::Arc::as_ptr(&cache);
+                    if !seen.contains(&ptr) {
+                        seen.push(ptr);
+                        total.merge(&cache.stats());
+                    }
                 }
             }
         }
@@ -318,11 +344,13 @@ impl PlanExecutor {
         let mut seen: Vec<*const aryn_llm::UsageMeter> = Vec::new();
         let mut total = UsageStats::default();
         for client in std::iter::once(&self.client).chain(self.model_clients.values()) {
-            let meter = client.meter();
-            let ptr = std::sync::Arc::as_ptr(&meter);
-            if !seen.contains(&ptr) {
-                seen.push(ptr);
-                total.merge(&meter.snapshot());
+            for tier in client.fallback_chain() {
+                let meter = tier.meter();
+                let ptr = std::sync::Arc::as_ptr(&meter);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    total.merge(&meter.snapshot());
+                }
             }
         }
         total
@@ -358,6 +386,17 @@ impl PlanExecutor {
         }
         if t.cost_saved_usd > 0.0 {
             span.gauge("llm_cost_saved_usd", t.cost_saved_usd);
+        }
+        // Reliability counters, also nonzero-only: traces recorded without a
+        // policy keep their historical fingerprints.
+        if t.breaker_trips > 0 {
+            span.set("breaker_trips", t.breaker_trips);
+        }
+        if t.fallback_calls > 0 {
+            span.set("fallback_calls", t.fallback_calls);
+        }
+        if t.degraded_docs > 0 {
+            span.set("degraded_docs", t.degraded_docs);
         }
         span.finish();
     }

@@ -46,6 +46,16 @@ pub struct LunaConfig {
     pub batch_max_items: usize,
     /// Token budget for one packed micro-batch payload.
     pub batch_token_budget: usize,
+    /// Reliability policy ([`aryn_llm::reliability`]): per-call timeouts,
+    /// a per-question deadline over the simulated clock, circuit breakers,
+    /// and model-degradation chains (each execution model falls back to the
+    /// next-cheaper catalogue tier, ultimately string matching). `None`
+    /// (the default) keeps every call unguarded and call counts exact.
+    pub reliability: Option<aryn_llm::ReliabilityPolicy>,
+    /// Deterministic fault schedule ([`aryn_llm::chaos`]) injected in front
+    /// of every execution model: rate-limit storms, timeout bursts,
+    /// malformed-JSON streaks, endpoint blackouts. `None` = calm.
+    pub chaos: Option<aryn_llm::ChaosSchedule>,
 }
 
 impl Default for LunaConfig {
@@ -62,6 +72,8 @@ impl Default for LunaConfig {
             call_cache_dir: None,
             batch_max_items: 1,
             batch_token_budget: 2048,
+            reliability: None,
+            chaos: None,
         }
     }
 }
@@ -90,6 +102,16 @@ impl Luna {
             ctx.set_batch(cfg.batch_max_items, cfg.batch_token_budget);
             optimizer.batch_max_items = cfg.batch_max_items;
         }
+        // Reliability: one shared state (clock, budget, per-model breakers)
+        // installed on the context, so every docset-level semantic operator
+        // — including the ones Luna's plan nodes build — runs under it. The
+        // chaos schedule rides the same channel; each operator gets a fresh
+        // fault clock when its client is attached.
+        let reliability_state = cfg.reliability.filter(|p| p.enabled()).map(|p| ctx.set_reliability(p));
+        if let Some(schedule) = &cfg.chaos {
+            ctx.set_chaos(schedule.clone());
+        }
+        optimizer.degradation_chain = reliability_state.is_some();
         let mut schemas = Vec::new();
         for name in indexes {
             let schema = ctx.with_store(name, |s| IndexSchema::discover(name, s))?;
@@ -124,9 +146,42 @@ impl Luna {
             },
         ));
         // Execution clients: default plus one per catalogue model, so the
-        // optimizer's routing decisions have real endpoints.
-        let exec_client =
-            attach(LlmClient::new(Arc::new(MockLlm::new(cfg.exec_model, cfg.sim.clone()))));
+        // optimizer's routing decisions have real endpoints. Under a
+        // reliability policy each client is the head of a degradation
+        // ladder: its fallback chain walks the cheaper catalogue tiers in
+        // quality order (gpt-4-sim → gpt-3.5-sim → llama-7b-sim), every
+        // tier sharing the one reliability state and call cache. Built
+        // cheapest-first so each tier owns the next.
+        let ladder = |primary: &'static ModelSpec| -> LlmClient {
+            let start = aryn_llm::ALL_MODELS
+                .iter()
+                .position(|s| s.name == primary.name)
+                .unwrap_or(0);
+            let mut chain: Option<LlmClient> = None;
+            for spec in aryn_llm::ALL_MODELS[start..].iter().rev() {
+                let mut c = attach(LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone()))));
+                if let Some(state) = &reliability_state {
+                    c = c.with_reliability(Arc::clone(state));
+                }
+                if let Some(cheaper) = chain.take() {
+                    c = c.with_fallback(cheaper);
+                }
+                chain = Some(c);
+            }
+            chain.unwrap_or_else(|| {
+                // Unreachable while ALL_MODELS is non-empty; a bare primary
+                // keeps construction total without panicking.
+                attach(LlmClient::new(Arc::new(MockLlm::new(
+                    primary,
+                    cfg.sim.clone(),
+                ))))
+            })
+        };
+        let exec_client = if reliability_state.is_some() {
+            ladder(cfg.exec_model)
+        } else {
+            attach(LlmClient::new(Arc::new(MockLlm::new(cfg.exec_model, cfg.sim.clone()))))
+        };
         // Pay-as-you-go knowledge graph over the ingested stores (§7): built
         // from extracted properties, merged across indexes.
         let mut graph = aryn_index::GraphStore::new();
@@ -139,10 +194,12 @@ impl Luna {
         let mut executor =
             PlanExecutor::new(ctx, exec_client).with_graph(Arc::new(graph));
         for spec in aryn_llm::ALL_MODELS {
-            executor = executor.with_model(
-                spec.name,
-                attach(LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone())))),
-            );
+            let client = if reliability_state.is_some() {
+                ladder(spec)
+            } else {
+                attach(LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone()))))
+            };
+            executor = executor.with_model(spec.name, client);
         }
         Ok(Luna {
             schemas,
@@ -343,6 +400,12 @@ impl Luna {
     /// telemetry spans recorded while serving this question (planner,
     /// optimizer, per-operator, and any engine stage spans).
     pub fn ask(&self, question: &str) -> Result<LunaAnswer> {
+        // Each question gets a fresh deadline/retry budget; circuit-breaker
+        // state persists across questions (an open endpoint stays open until
+        // its cooldown elapses on the shared clock).
+        if let Some(state) = self.executor.ctx.reliability() {
+            state.reset_budget();
+        }
         let tel = self.executor.telemetry.clone();
         let mark = tel.span_count();
         let plan = self.plan(question)?;
@@ -371,20 +434,17 @@ impl Luna {
         self.execute(&optimized.plan)
     }
 
-    /// Total planning + execution spend so far (simulated dollars).
+    /// Total planning + execution spend so far (simulated dollars),
+    /// including spend by fallback tiers behind degradation ladders.
     pub fn total_cost(&self) -> f64 {
-        let mut c = self.planner_client.stats().usage.cost_usd
-            + self.executor.client.stats().usage.cost_usd;
-        for client in self.executor.model_clients.values() {
-            c += client.stats().usage.cost_usd;
-        }
-        c
+        self.usage_stats().usage.cost_usd
     }
 
-    /// Aggregate usage across the planner and every execution client,
-    /// deduplicated by meter identity. `calls` counts real model calls only
-    /// (cache hits never meter), so call-count deltas between runs measure
-    /// what the cache saved.
+    /// Aggregate usage across the planner and every execution client —
+    /// walking each client's degradation ladder so calls a cheaper fallback
+    /// tier answered are counted — deduplicated by meter identity. `calls`
+    /// counts real model calls only (cache hits never meter), so call-count
+    /// deltas between runs measure what the cache saved.
     pub fn usage_stats(&self) -> UsageStats {
         let mut seen: Vec<*const aryn_llm::UsageMeter> = Vec::new();
         let mut total = UsageStats::default();
@@ -392,11 +452,13 @@ impl Luna {
             .chain(std::iter::once(&self.executor.client))
             .chain(self.executor.model_clients.values());
         for client in clients {
-            let meter = client.meter();
-            let ptr = Arc::as_ptr(&meter);
-            if !seen.contains(&ptr) {
-                seen.push(ptr);
-                total.merge(&meter.snapshot());
+            for tier in client.fallback_chain() {
+                let meter = tier.meter();
+                let ptr = Arc::as_ptr(&meter);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    total.merge(&meter.snapshot());
+                }
             }
         }
         total
@@ -481,6 +543,12 @@ impl LunaAnswer {
                     t.batched_calls, t.calls_saved
                 ));
             }
+            if t.fallback_calls + t.degraded_docs + t.breaker_trips > 0 {
+                out.push_str(&format!(
+                    "  degraded: {} fallback calls  {} degraded docs  {} breaker trips\n",
+                    t.fallback_calls, t.degraded_docs, t.breaker_trips
+                ));
+            }
         }
         if let Some(p) = self.trace.spans_of_kind("planner").first() {
             out.push_str(&format!(
@@ -520,6 +588,17 @@ impl LunaAnswer {
                 "batch: {} packed calls  {} calls saved\n",
                 self.result.total_batched_calls(),
                 self.result.total_calls_saved()
+            ));
+        }
+        let degraded = self.result.total_fallback_calls()
+            + self.result.total_degraded_docs()
+            + self.result.total_breaker_trips();
+        if degraded > 0 {
+            out.push_str(&format!(
+                "degraded: {} fallback calls  {} degraded docs  {} breaker trips\n",
+                self.result.total_fallback_calls(),
+                self.result.total_degraded_docs(),
+                self.result.total_breaker_trips()
             ));
         }
         out

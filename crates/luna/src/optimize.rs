@@ -36,6 +36,12 @@ pub struct OptimizerCfg {
     /// for it — packing happens at execution time — but it notes the
     /// expected call reduction so `explain_analyze` surfaces the decision.
     pub batch_max_items: usize,
+    /// Set when the engine runs under a reliability policy with
+    /// model-degradation ladders: the cost model notes each semantic
+    /// operator's fallback route (cheaper catalogue tiers, then string
+    /// matching) so `explain_analyze` shows where a degraded answer could
+    /// come from before it happens.
+    pub degradation_chain: bool,
 }
 
 impl Default for OptimizerCfg {
@@ -47,6 +53,7 @@ impl Default for OptimizerCfg {
             model_selection: true,
             min_accuracy: 0.85,
             batch_max_items: 1,
+            degradation_chain: false,
         }
     }
 }
@@ -88,6 +95,9 @@ pub fn optimize(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg) -> Res
     if cfg.batch_max_items > 1 {
         note_batching(&plan, schemas, cfg, &mut notes);
     }
+    if cfg.degradation_chain {
+        note_degradation(&plan, &mut notes);
+    }
     Ok(Optimized { plan, notes })
 }
 
@@ -125,6 +135,32 @@ fn note_batching(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg, notes
                 n.id
             )),
         }
+    }
+}
+
+/// Cost-model note for degradation ladders: records each semantic
+/// operator's fallback route under the reliability policy — the cheaper
+/// catalogue tiers its breaker/deadline failures would walk, ending at
+/// string matching for `llmFilter` (a skipped extraction for `llmExtract`).
+fn note_degradation(plan: &Plan, notes: &mut Vec<String>) {
+    for n in &plan.nodes {
+        let (kind, model, terminal) = match &n.op {
+            PlanOp::LlmFilter { model, .. } => ("llmFilter", model, "string-match"),
+            PlanOp::LlmExtract { model, .. } => ("llmExtract", model, "skip"),
+            _ => continue,
+        };
+        let primary = if model.is_empty() { GPT4_SIM.name } else { model.as_str() };
+        let start = aryn_llm::ALL_MODELS
+            .iter()
+            .position(|s| s.name == primary)
+            .unwrap_or(0);
+        let mut tiers: Vec<&str> = aryn_llm::ALL_MODELS[start..].iter().map(|s| s.name).collect();
+        tiers.push(terminal);
+        notes.push(format!(
+            "out_{}: {kind} degradation ladder {} (breaker/deadline failures fall through)",
+            n.id,
+            tiers.join(" -> ")
+        ));
     }
 }
 

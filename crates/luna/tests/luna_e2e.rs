@@ -561,3 +561,73 @@ fn micro_batched_queries_answer_identically_and_save_calls() {
     assert!(explained.contains("batch:"), "{explained}");
     assert!(explained.contains("calls saved"), "{explained}");
 }
+
+#[test]
+fn reliability_chain_degrades_under_blackout_without_changing_the_answer() {
+    use aryn_llm::{ChaosSchedule, FaultKind, ReliabilityPolicy};
+    let build = |reliability: Option<ReliabilityPolicy>, chaos: Option<ChaosSchedule>| {
+        let ctx = Context::new();
+        ctx.register_corpus("ntsb", &Corpus::ntsb(7, 16));
+        let client =
+            LlmClient::new(Arc::new(MockLlm::new(&aryn_llm::GPT4_SIM, SimConfig::perfect(7))));
+        ingest_lake(
+            &ctx,
+            "ntsb",
+            "ntsb",
+            &client,
+            ntsb_schema(),
+            aryn_partitioner::Detector::DetrSim,
+        )
+        .unwrap();
+        Luna::new(
+            ctx,
+            &["ntsb"],
+            LunaConfig {
+                sim: SimConfig::perfect(7),
+                reliability,
+                chaos,
+                // Keep the semantic filter: pushed down it would become a
+                // structured predicate with no LLM calls to degrade.
+                optimizer: luna::OptimizerCfg { pushdown: false, ..Default::default() },
+                ..LunaConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let q = "How many incidents were caused by environmental factors?";
+    let calm = build(None, None).ask(q).unwrap();
+
+    // Primary endpoint dark for the whole question; generous deadline so
+    // only the breaker + degradation ladder are in play.
+    let policy = ReliabilityPolicy {
+        deadline_ms: 1e9,
+        breaker_window: 4,
+        breaker_threshold: 0.5,
+        breaker_cooldown_ms: 1e12,
+        ..ReliabilityPolicy::default()
+    };
+    let storm = ChaosSchedule::calm().with_window(FaultKind::Blackout, 0, 100_000);
+    let luna = build(Some(policy), Some(storm));
+    let ans = luna.ask(q).unwrap();
+
+    assert_eq!(ans.answer(), calm.answer(), "degradation changed the answer");
+    assert!(ans.result.total_fallback_calls() > 0, "ladder must have been walked");
+    assert!(ans.result.total_degraded_docs() > 0, "degraded docs must be flagged");
+    assert!(ans.result.total_breaker_trips() >= 1, "breaker must trip under blackout");
+    // Degradation is visible end to end: node traces, explain_analyze, and
+    // the optimizer's cost notes.
+    let analyzed = ans.explain_analyze();
+    assert!(analyzed.contains("degraded:"), "{analyzed}");
+    assert!(
+        ans.optimizer_notes.iter().any(|n| n.contains("degradation ladder")),
+        "{:?}",
+        ans.optimizer_notes
+    );
+
+    // The calm run with the same reliability policy stays undegraded and
+    // bit-identical: the layer is inert without faults.
+    let quiet = build(Some(policy), None).ask(q).unwrap();
+    assert_eq!(quiet.answer(), calm.answer());
+    assert_eq!(quiet.result.total_degraded_docs(), 0);
+    assert_eq!(quiet.result.total_fallback_calls(), 0);
+}

@@ -7,7 +7,9 @@ use aryn_core::{ArynError, Document, Result};
 use aryn_docgen::layout::RawDocument;
 use aryn_docgen::Corpus;
 use aryn_index::{Catalog, DocStore, HnswIndex, KeywordIndex, VectorIndex};
-use aryn_llm::{EmbeddingModel, HashedBowEmbedder};
+use aryn_llm::{
+    ChaosSchedule, EmbeddingModel, HashedBowEmbedder, ReliabilityPolicy, ReliabilityState,
+};
 use aryn_telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -62,8 +64,17 @@ pub(crate) struct ContextInner {
     pub keyword: RwLock<BTreeMap<String, KeywordIndex>>,
     /// Vector indexes.
     pub vector: RwLock<BTreeMap<String, Box<dyn VectorIndex>>>,
-    /// Named in-memory materializations.
-    pub materialized: RwLock<BTreeMap<String, Vec<Document>>>,
+    /// Named in-memory materializations, keyed by name and stamped with a
+    /// fingerprint of the op-prefix that produced them — so a checkpoint
+    /// written by one pipeline shape is never reused by a different one.
+    pub materialized: RwLock<BTreeMap<String, (u64, Vec<Document>)>>,
+    /// Shared reliability state (per-query deadline budget + per-model
+    /// circuit breakers). `None` = reliability off; LLM ops built on this
+    /// context attach it when present.
+    pub reliability: RwLock<Option<Arc<ReliabilityState>>>,
+    /// Chaos fault schedule wrapped around LLM ops built on this context
+    /// (one independent schedule clock per op). `None` = calm.
+    pub chaos: RwLock<Option<ChaosSchedule>>,
     pub embedder: Arc<dyn EmbeddingModel>,
     /// Execution configuration. Behind a lock so query-time knobs (the
     /// micro-batching pair) can be adjusted on a live context without
@@ -102,6 +113,8 @@ impl Context {
                 keyword: RwLock::new(BTreeMap::new()),
                 vector: RwLock::new(BTreeMap::new()),
                 materialized: RwLock::new(BTreeMap::new()),
+                reliability: RwLock::new(None),
+                chaos: RwLock::new(None),
                 embedder,
                 exec: RwLock::new(ExecConfig::default()),
                 telemetry: Telemetry::new("sycamore"),
@@ -122,6 +135,8 @@ impl Context {
                 keyword: RwLock::new(BTreeMap::new()),
                 vector: RwLock::new(BTreeMap::new()),
                 materialized: RwLock::new(self.inner.materialized.read().clone()),
+                reliability: RwLock::new(self.inner.reliability.read().clone()),
+                chaos: RwLock::new(self.inner.chaos.read().clone()),
                 embedder: Arc::clone(&self.inner.embedder),
                 exec: RwLock::new(exec),
                 telemetry: self.inner.telemetry.clone(),
@@ -141,6 +156,35 @@ impl Context {
         let mut exec = self.inner.exec.write();
         exec.batch_max_items = max_items.max(1);
         exec.batch_token_budget = token_budget.max(1);
+    }
+
+    /// Installs a reliability policy on this context and returns the shared
+    /// state. LLM ops constructed afterwards attach it: their calls draw
+    /// down one per-query deadline budget and feed per-model circuit
+    /// breakers. Like [`Context::set_batch`] this mutates the live context —
+    /// reliability is a query-time concern.
+    pub fn set_reliability(&self, policy: ReliabilityPolicy) -> Arc<ReliabilityState> {
+        let state = ReliabilityState::new(policy);
+        *self.inner.reliability.write() = Some(Arc::clone(&state));
+        state
+    }
+
+    /// The installed reliability state, if any.
+    pub fn reliability(&self) -> Option<Arc<ReliabilityState>> {
+        self.inner.reliability.read().clone()
+    }
+
+    /// Installs a chaos fault schedule. Each LLM op constructed afterwards
+    /// wraps its model in a [`aryn_llm::ChaosModel`] with an independent
+    /// copy of this schedule (per-op call clocks), so faults land
+    /// deterministically regardless of stage interleaving.
+    pub fn set_chaos(&self, schedule: ChaosSchedule) {
+        *self.inner.chaos.write() = Some(schedule);
+    }
+
+    /// The installed chaos schedule, if any.
+    pub fn chaos(&self) -> Option<ChaosSchedule> {
+        self.inner.chaos.read().clone()
     }
 
     /// The context's span collector. Clone it to record from transforms or

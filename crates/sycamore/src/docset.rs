@@ -62,6 +62,24 @@ impl DocSet {
         self
     }
 
+    /// Clones a client into an op, applying the context's reliability state
+    /// (when the client carries none of its own) and wrapping the model in
+    /// the context's chaos schedule (each op gets a fresh fault clock).
+    /// Fallback tiers inside the client keep their own wiring — chaos
+    /// targets the endpoint the op talks to first.
+    fn attach(&self, client: &LlmClient) -> LlmClient {
+        let mut c = client.clone();
+        if c.reliability().is_none() {
+            if let Some(state) = self.ctx.reliability() {
+                c = c.with_reliability(state);
+            }
+        }
+        if let Some(schedule) = self.ctx.chaos() {
+            c = c.with_chaos(schedule);
+        }
+        c
+    }
+
     // --- core transforms ---------------------------------------------------
 
     /// Arbitrary per-document function.
@@ -152,8 +170,9 @@ impl DocSet {
         output_path: &str,
         selector: ElementSelector,
     ) -> DocSet {
+        let client = self.attach(client);
         self.push(Op::LlmQuery {
-            client: client.clone(),
+            client,
             template: template.to_string(),
             output_path: output_path.to_string(),
             selector,
@@ -172,8 +191,9 @@ impl DocSet {
         schema: Value,
         selector: ElementSelector,
     ) -> DocSet {
+        let client = self.attach(client);
         self.push(Op::ExtractProperties {
-            client: client.clone(),
+            client,
             schema,
             selector,
         })
@@ -181,8 +201,9 @@ impl DocSet {
 
     /// Semantic filter by natural-language predicate (Luna's `llmFilter`).
     pub fn llm_filter(self, client: &LlmClient, predicate: &str) -> DocSet {
+        let client = self.attach(client);
         self.push(Op::LlmFilter {
-            client: client.clone(),
+            client,
             predicate: predicate.to_string(),
             selector: ElementSelector::All,
         })
@@ -197,8 +218,9 @@ impl DocSet {
         labels: &[&str],
         output_path: &str,
     ) -> DocSet {
+        let client = self.attach(client);
         self.push(Op::LlmClassify {
-            client: client.clone(),
+            client,
             question: question.to_string(),
             labels: labels.iter().map(|s| s.to_string()).collect(),
             output_path: output_path.to_string(),
@@ -208,8 +230,9 @@ impl DocSet {
 
     /// Per-document summary into `output_path`.
     pub fn summarize(self, client: &LlmClient, instructions: &str, output_path: &str) -> DocSet {
+        let client = self.attach(client);
         self.push(Op::Summarize {
-            client: client.clone(),
+            client,
             instructions: instructions.to_string(),
             output_path: output_path.to_string(),
             selector: ElementSelector::All,
@@ -220,15 +243,15 @@ impl DocSet {
     /// titled section gets a one-sentence summary under
     /// `properties.section_summaries.<slug>`.
     pub fn summarize_sections(self, client: &LlmClient) -> DocSet {
-        self.push(Op::SummarizeSections {
-            client: client.clone(),
-        })
+        let client = self.attach(client);
+        self.push(Op::SummarizeSections { client })
     }
 
     /// Collection-level hierarchical summarization into one document.
     pub fn summarize_all(self, client: &LlmClient, instructions: &str) -> DocSet {
+        let client = self.attach(client);
         self.push(Op::SummarizeAll {
-            client: client.clone(),
+            client,
             instructions: instructions.to_string(),
         })
     }

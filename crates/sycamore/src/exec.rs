@@ -105,6 +105,18 @@ fn record_stage_span(
             span.set(&format!("batch_size_{size}"), count as u64);
         }
     }
+    // Reliability counters: breaker trips, fallback answers, and degraded
+    // documents are deterministic under the virtual clock. Only set when
+    // nonzero, so calm runs keep their historical trace fingerprints.
+    if stage.breaker_trips > 0 {
+        span.set("breaker_trips", stage.breaker_trips);
+    }
+    if stage.fallback_calls > 0 {
+        span.set("fallback_calls", stage.fallback_calls);
+    }
+    if stage.degraded_docs > 0 {
+        span.set("degraded_docs", stage.degraded_docs);
+    }
     span.gauge("wall_ms", stage.wall_ms)
         .gauge("llm_cost_usd", stage.llm_cost_usd);
     if stage.llm_cost_saved_usd > 0.0 {
@@ -125,17 +137,23 @@ fn record_stage_span(
 /// op's cache is already populated (a previous run of this plan, or an
 /// explicit warm-up), execution resumes from the *last* cached checkpoint
 /// instead of recomputing the upstream stages — the paper's "avoid redundant
-/// execution" behaviour (§5.3). Caches are named and user-managed; change
-/// the name (or a fresh Context) to force recomputation.
+/// execution" behaviour (§5.3). A checkpoint is only reused when the
+/// fingerprint of the op-prefix that would produce it matches the one
+/// stamped at write time, so a changed upstream pipeline (or a different
+/// source) invalidates the cache instead of silently serving stale rows.
 pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Document>, ExecStats)> {
     let tel = ctx.telemetry();
     let mut stats = ExecStats::default();
-    // Find the last cached materialize checkpoint, if any.
+    // Find the last cached materialize checkpoint whose recorded op-prefix
+    // fingerprint matches this plan's, if any.
     let mut resume_at: Option<(usize, Vec<Document>)> = None;
     for (idx, op) in ops.iter().enumerate() {
         if let Op::Materialize { name, .. } = op {
-            if let Some(cached) = ctx.inner.materialized.read().get(name) {
-                resume_at = Some((idx, cached.clone()));
+            let fp = plan_fingerprint(source, &ops[..=idx]);
+            if let Some((stored_fp, cached)) = ctx.inner.materialized.read().get(name) {
+                if *stored_fp == fp {
+                    resume_at = Some((idx, cached.clone()));
+                }
             }
         }
     }
@@ -161,7 +179,8 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
             let cache_before = cache_snapshot(op_slice);
             let start = Instant::now();
             let rows_in = docs.len();
-            let (new_docs, barrier_failed) = apply_barrier(ctx, &ops[i], docs)?;
+            let fp = plan_fingerprint(source, &ops[..=i]);
+            let (new_docs, barrier_failed) = apply_barrier(ctx, &ops[i], docs, fp)?;
             docs = new_docs;
             let delta = llm_snapshot(op_slice).since(&before);
             let cache_delta = cache_snapshot(op_slice).since(&cache_before);
@@ -185,6 +204,9 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 llm_cost_saved_usd: cache_delta.cost_saved_usd,
                 llm_calls_saved: delta.calls_saved,
                 batch_sizes: Vec::new(),
+                breaker_trips: delta.breaker_trips,
+                fallback_calls: delta.fallback_calls,
+                degraded_docs: delta.degraded_docs,
                 cache_hit: false,
             };
             record_stage_span(&tel, &stage, &delta, None);
@@ -224,6 +246,9 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 llm_cost_saved_usd: cache_delta.cost_saved_usd,
                 llm_calls_saved: delta.calls_saved,
                 batch_sizes: outcome.batch_sizes,
+                breaker_trips: delta.breaker_trips,
+                fallback_calls: delta.fallback_calls,
+                degraded_docs: delta.degraded_docs,
                 cache_hit: false,
             };
             // Batched segments carry no per-worker attribution (the
@@ -239,6 +264,29 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
         }
     }
     Ok((docs, stats))
+}
+
+/// Fingerprint of the op-prefix that produces a materialize checkpoint:
+/// a stable hash over the source identity and [`Op::fingerprint`] of every
+/// op up to and including the materialize. Stamped on the checkpoint at
+/// write time and checked before resume, so a changed predicate or schema,
+/// an added stage, or a different source invalidates the cached rows.
+/// Closure bodies (map/filter/flat_map) are invisible — only their
+/// user-given names participate.
+fn plan_fingerprint(source: &Source, prefix: &[Op]) -> u64 {
+    let mut parts: Vec<String> = Vec::with_capacity(prefix.len() + 1);
+    parts.push(match source {
+        Source::Lake(name) => format!("lake:{name}"),
+        Source::Store(name) => format!("store:{name}"),
+        Source::Materialized(name) => format!("materialized:{name}"),
+        Source::Docs(docs) => {
+            let ids: Vec<&str> = docs.iter().map(|d| d.id.as_str()).collect();
+            format!("docs:{}", ids.join(","))
+        }
+    });
+    parts.extend(prefix.iter().map(Op::fingerprint));
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    stable_hash(0x4D47_F1A5, &refs)
 }
 
 fn resolve_source(ctx: &Context, source: &Source) -> Result<Vec<Document>> {
@@ -271,7 +319,7 @@ fn resolve_source(ctx: &Context, source: &Source) -> Result<Vec<Document>> {
             .materialized
             .read()
             .get(name)
-            .cloned()
+            .map(|(_, docs)| docs.clone())
             .ok_or_else(|| ArynError::Index(format!("unknown materialization {name:?}"))),
     }
 }
@@ -596,7 +644,14 @@ fn run_segment_parallel(
 
 /// Applies one barrier op, returning the new collection plus the number of
 /// source documents dropped by inner failures (summarize_all batches).
-fn apply_barrier(ctx: &Context, op: &Op, docs: Vec<Document>) -> Result<(Vec<Document>, usize)> {
+/// `fingerprint` identifies the op-prefix that produced `docs`; materialize
+/// stamps it on the checkpoint so resume can detect stale caches.
+fn apply_barrier(
+    ctx: &Context,
+    op: &Op,
+    docs: Vec<Document>,
+    fingerprint: u64,
+) -> Result<(Vec<Document>, usize)> {
     match op {
         Op::ReduceByKey { key, aggs } => Ok((transforms::reduce_by_key(docs, key, aggs), 0)),
         Op::SortBy { path, descending } => Ok((transforms::sort_by(docs, path, *descending), 0)),
@@ -615,7 +670,7 @@ fn apply_barrier(ctx: &Context, op: &Op, docs: Vec<Document>) -> Result<(Vec<Doc
             Ok((vec![doc], failed))
         }
         Op::Materialize { name, dir } => {
-            transforms::materialize(ctx, name, dir.as_deref(), &docs)?;
+            transforms::materialize(ctx, name, fingerprint, dir.as_deref(), &docs)?;
             Ok((docs, 0))
         }
         other => Err(ArynError::Exec(format!(

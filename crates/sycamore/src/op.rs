@@ -210,8 +210,56 @@ impl Op {
         }
     }
 
-    /// The LLM clients this op holds, if any. Stats collection snapshots
-    /// their meters around a stage to attribute calls/tokens/retries to it.
+    /// A string identifying this op for materialize-checkpoint
+    /// fingerprints: the display name plus every parameter that changes the
+    /// op's output (predicates, schemas, templates, model names, selectors).
+    /// Closure bodies (map/filter/flat_map) are invisible — only their
+    /// user-given names participate.
+    pub fn fingerprint(&self) -> String {
+        match self {
+            Op::LlmQuery { client, template, output_path, selector } => format!(
+                "llm_query|{}|{template}|{output_path}|{selector:?}",
+                client.model_name()
+            ),
+            Op::ExtractProperties { client, schema, selector } => format!(
+                "extract_properties|{}|{}|{selector:?}",
+                client.model_name(),
+                aryn_core::json::to_string(schema)
+            ),
+            Op::LlmFilter { client, predicate, selector } => format!(
+                "llm_filter|{}|{predicate}|{selector:?}",
+                client.model_name()
+            ),
+            Op::LlmClassify { client, question, labels, output_path, selector } => format!(
+                "llm_classify|{}|{question}|{}|{output_path}|{selector:?}",
+                client.model_name(),
+                labels.join(",")
+            ),
+            Op::Summarize { client, instructions, output_path, selector } => format!(
+                "summarize|{}|{instructions}|{output_path}|{selector:?}",
+                client.model_name()
+            ),
+            Op::SummarizeSections { client } => {
+                format!("summarize_sections|{}", client.model_name())
+            }
+            Op::SummarizeAll { client, instructions } => format!(
+                "summarize_all|{}|{instructions}",
+                client.model_name()
+            ),
+            Op::ReduceByKey { key, aggs } => format!("reduce_by_key|{key}|{aggs:?}"),
+            Op::SortBy { path, descending } => format!("sort|{path}|{descending}"),
+            Op::Partition { lake, cfg } => format!(
+                "partition|{lake}|{:?}|{}|{}|{}",
+                cfg.detector, cfg.merge_tables, cfg.use_ocr, cfg.seed
+            ),
+            other => other.name(),
+        }
+    }
+
+    /// The LLM clients this op holds, if any — including every fallback
+    /// tier behind a degradation chain, so stage accounting sees calls a
+    /// cheaper tier answered. Stats collection snapshots their meters
+    /// around a stage to attribute calls/tokens/retries to it.
     pub fn clients(&self) -> Vec<&LlmClient> {
         match self {
             Op::LlmQuery { client, .. }
@@ -220,8 +268,12 @@ impl Op {
             | Op::LlmClassify { client, .. }
             | Op::SummarizeSections { client }
             | Op::Summarize { client, .. }
-            | Op::SummarizeAll { client, .. } => vec![client],
-            Op::Partition { cfg, .. } => cfg.summarize_images.iter().collect(),
+            | Op::SummarizeAll { client, .. } => client.fallback_chain(),
+            Op::Partition { cfg, .. } => cfg
+                .summarize_images
+                .iter()
+                .flat_map(LlmClient::fallback_chain)
+                .collect(),
             _ => Vec::new(),
         }
     }

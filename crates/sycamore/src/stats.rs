@@ -37,6 +37,15 @@ pub struct StageStats {
     /// Documents per packed micro-batch call issued by this stage, in issue
     /// order. Empty when batching is off (the default).
     pub batch_sizes: Vec<usize>,
+    /// Circuit-breaker trips (closed → open transitions) observed while
+    /// this stage ran. Zero unless a reliability policy is installed.
+    pub breaker_trips: u64,
+    /// Logical calls answered by a fallback model tier instead of the
+    /// stage's primary model.
+    pub fallback_calls: u64,
+    /// Documents whose result came from a degraded path (fallback model or
+    /// the string-match tier) and were flagged in their properties.
+    pub degraded_docs: u64,
     /// True if this stage was served from a materialize cache instead of
     /// being recomputed.
     pub cache_hit: bool,
@@ -105,6 +114,18 @@ impl ExecStats {
         self.stages.iter().map(|s| s.batch_sizes.len() as u64).sum()
     }
 
+    pub fn total_breaker_trips(&self) -> u64 {
+        self.stages.iter().map(|s| s.breaker_trips).sum()
+    }
+
+    pub fn total_fallback_calls(&self) -> u64 {
+        self.stages.iter().map(|s| s.fallback_calls).sum()
+    }
+
+    pub fn total_degraded_docs(&self) -> u64 {
+        self.stages.iter().map(|s| s.degraded_docs).sum()
+    }
+
     /// Histogram of micro-batch sizes across all stages: sorted
     /// `(size, count)` pairs.
     pub fn batch_size_histogram(&self) -> Vec<(usize, usize)> {
@@ -162,6 +183,9 @@ mod tests {
                     llm_cost_saved_usd: 0.005,
                     llm_calls_saved: 6,
                     batch_sizes: vec![4, 4, 2, 4],
+                    breaker_trips: 1,
+                    fallback_calls: 2,
+                    degraded_docs: 3,
                     cache_hit: false,
                 },
                 StageStats {
@@ -184,6 +208,9 @@ mod tests {
         assert_eq!(stats.total_llm_calls_saved(), 6);
         assert_eq!(stats.total_batched_calls(), 4);
         assert_eq!(stats.batch_size_histogram(), vec![(2, 1), (4, 3)]);
+        assert_eq!(stats.total_breaker_trips(), 1);
+        assert_eq!(stats.total_fallback_calls(), 2);
+        assert_eq!(stats.total_degraded_docs(), 3);
         let r = stats.render();
         assert!(r.contains("filter(x)"));
         assert!(r.contains("550"));

@@ -5,6 +5,7 @@ use crate::op::{Agg, ElementSelector, Op, PartitionCfg};
 use aryn_core::json;
 use aryn_core::{obj, ArynError, Document, LineageRecord, Result, Value};
 use aryn_llm::prompt::tasks;
+use aryn_llm::semantics;
 use aryn_llm::{run_batched, BatchConfig, BatchReport, LlmClient, TaskKind};
 use aryn_partitioner::{Partitioner, PartitionerOptions};
 use std::collections::BTreeMap;
@@ -200,8 +201,17 @@ fn extract_properties(
     mut doc: Document,
 ) -> Result<Document> {
     let text = selector.select_text(&doc);
-    let prompt = client.fit_prompt(&text, 512, |ctx| tasks::extract(schema, ctx));
-    let v = client.generate_json(&prompt, 512)?;
+    let (v, degraded_to) =
+        match client.generate_json_with_fallback(&text, 512, &|ctx| tasks::extract(schema, ctx)) {
+            Ok(out) => (out.value, out.degraded_to),
+            // Reliability cut the ladder off: the document passes through
+            // unextracted, flagged — an incomplete answer, never a silent
+            // wrong one.
+            Err(ArynError::CircuitOpen { .. } | ArynError::DeadlineExceeded { .. }) => {
+                (Value::Null, Some("skipped".to_string()))
+            }
+            Err(e) => return Err(e),
+        };
     if let Some(fields) = v.as_object() {
         for (k, val) in fields {
             // Only accept fields the schema asked for — models sometimes
@@ -210,6 +220,10 @@ fn extract_properties(
                 doc.properties.set_path(k, val.clone());
             }
         }
+    }
+    if let Some(tier) = degraded_to {
+        doc.set_prop("_degraded", tier.as_str());
+        client.note_degraded_docs(1);
     }
     doc.lineage.push(
         LineageRecord::new("extract_properties", json::to_string(schema)).with_llm(1, 0.0),
@@ -224,9 +238,25 @@ fn llm_filter(
     mut doc: Document,
 ) -> Result<Vec<Document>> {
     let text = selector.select_text(&doc);
-    let prompt = client.fit_prompt(&text, 64, |ctx| tasks::filter(predicate, ctx));
-    let v = client.generate_json(&prompt, 64)?;
-    let keep = v.get("match").and_then(Value::as_bool).unwrap_or(false);
+    let (keep, degraded_to) =
+        match client.generate_json_with_fallback(&text, 64, &|ctx| tasks::filter(predicate, ctx)) {
+            Ok(out) => (
+                out.value.get("match").and_then(Value::as_bool).unwrap_or(false),
+                out.degraded_to,
+            ),
+            // Final degradation tier: deterministic string matching against
+            // the selected text. Costs no LLM budget; the flag records how
+            // the verdict was produced.
+            Err(ArynError::CircuitOpen { .. } | ArynError::DeadlineExceeded { .. }) => (
+                semantics::eval_predicate(predicate, &text),
+                Some("string-match".to_string()),
+            ),
+            Err(e) => return Err(e),
+        };
+    if let Some(tier) = degraded_to {
+        doc.set_prop("_degraded", tier.as_str());
+        client.note_degraded_docs(1);
+    }
     if keep {
         doc.lineage
             .push(LineageRecord::new("llm_filter", predicate.to_string()).with_llm(1, 0.0));
@@ -674,18 +704,21 @@ pub fn summarize_all_stats(
     Ok((doc, failed_weight))
 }
 
-/// Materializes documents: cached in memory under `name`, optionally spilled
-/// to `{dir}/{name}.jsonl`.
+/// Materializes documents: cached in memory under `name` — stamped with the
+/// fingerprint of the op-prefix that produced them, so resume only reuses
+/// the checkpoint for an identical upstream plan — optionally spilled to
+/// `{dir}/{name}.jsonl`.
 pub fn materialize(
     ctx: &Context,
     name: &str,
+    fingerprint: u64,
     dir: Option<&std::path::Path>,
     docs: &[Document],
 ) -> Result<()> {
     ctx.inner
         .materialized
         .write()
-        .insert(name.to_string(), docs.to_vec());
+        .insert(name.to_string(), (fingerprint, docs.to_vec()));
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.jsonl"));

@@ -433,6 +433,59 @@ fn materialize_checkpoint_skips_upstream_recomputation() {
 }
 
 #[test]
+fn changed_upstream_plan_invalidates_materialize_checkpoint() {
+    // Regression: resume used to key the materialize cache by name alone, so
+    // a plan with a *different* upstream prefix silently reused a stale
+    // checkpoint. The fingerprint stamp must force recomputation.
+    let (ctx, _) = ntsb_ctx(4);
+    let client = perfect_client();
+    let warm = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .llm_filter(&client, "caused by wind")
+        .materialize("ckpt")
+        .collect()
+        .unwrap();
+    let calls_after_warm = client.stats().calls;
+    assert_eq!(calls_after_warm, 4);
+    // Same name, different upstream op: must NOT reuse the checkpoint.
+    let changed = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .llm_filter(&client, "engine failure during flight")
+        .materialize("ckpt")
+        .collect()
+        .unwrap();
+    assert_eq!(
+        client.stats().calls,
+        calls_after_warm + 4,
+        "changed prefix must recompute, not serve the stale checkpoint"
+    );
+    // The checkpoint now belongs to the new plan: re-running it resumes.
+    let (rerun, stats) = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .llm_filter(&client, "engine failure during flight")
+        .materialize("ckpt")
+        .collect_stats()
+        .unwrap();
+    assert_eq!(rerun, changed);
+    assert_eq!(client.stats().calls, calls_after_warm + 4, "resume: no new calls");
+    assert!(stats.stages[0].cache_hit, "{}", stats.render());
+    // And the identical original plan no longer matches the overwritten
+    // checkpoint, so it recomputes rather than serving the other filter's rows.
+    let cold = ctx
+        .read_lake("ntsb")
+        .unwrap()
+        .llm_filter(&client, "caused by wind")
+        .materialize("ckpt")
+        .collect()
+        .unwrap();
+    assert_eq!(cold, warm);
+    assert_eq!(client.stats().calls, calls_after_warm + 8);
+}
+
+#[test]
 fn llm_classify_assigns_labels_from_closed_set() {
     let (ctx, corpus) = ntsb_ctx(12);
     let client = perfect_client();

@@ -18,7 +18,14 @@
 //!    `aryn_llm::run_batched` so cross-document micro-batching (DESIGN.md
 //!    §5e) and per-item cache memoization apply to them; a new direct
 //!    per-doc generate loop silently opts the op out of both.
-//! 4. **Diagnostic-code doc check.** Every analyzer code
+//! 4. **Sleep/raw-retry scan.** Library code must not call
+//!    `thread::sleep` — latency is simulated on the reliability layer's
+//!    virtual clock (DESIGN.md §5f), and a real sleep would stall tests
+//!    without advancing any budget. Likewise, new `for attempt`/`while
+//!    attempt` retry loops are frozen at the grandfathered sites: retries
+//!    belong in `aryn_llm::reliability`/`LlmClient`, where they are metered,
+//!    backoff-jittered, breaker-guarded, and charged to the deadline budget.
+//! 5. **Diagnostic-code doc check.** Every analyzer code
 //!    ([`luna::analyze::codes::ALL`]) and pipeline lint code
 //!    ([`sycamore::lint::codes::ALL`]) must be documented in `DESIGN.md`.
 
@@ -58,6 +65,7 @@ fn lint(root: &Path) -> Result<(), String> {
     forbidden_call_scan(root, &mut failures)?;
     model_call_scan(root, &mut failures)?;
     batch_bypass_scan(root, &mut failures)?;
+    sleep_retry_scan(root, &mut failures)?;
     doc_code_check(root, &mut failures)?;
     if failures.is_empty() {
         println!("xtask lint: ok");
@@ -213,7 +221,7 @@ fn model_call_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String
 /// The grandfathered `client.generate*` sites in `sycamore::transforms`: the
 /// unbatched singleton paths of the existing semantic ops. Shrink when one
 /// is removed; never grow it — new ops go through `aryn_llm::run_batched`.
-const TRANSFORMS_GENERATE_BUDGET: usize = 7;
+const TRANSFORMS_GENERATE_BUDGET: usize = 5;
 
 /// New per-document `client.generate*` loops in `sycamore::transforms` opt
 /// the op out of cross-document micro-batching and per-item cache
@@ -277,6 +285,76 @@ fn scan_source_for(text: &str, patterns: &[&str]) -> Vec<(usize, String)> {
         i += 1;
     }
     out
+}
+
+// --- Sleep/raw-retry scan ---------------------------------------------------
+
+/// The grandfathered raw retry loops, each driving its ladder through the
+/// reliability layer's accounting: the transient/re-ask ladders in
+/// `LlmClient`, the executor's worker-crash retry (§5.3), and Luna's
+/// re-plan loop. Shrink a budget when a loop is removed; never grow one —
+/// new retry logic goes through `aryn_llm::reliability`.
+const RETRY_LOOP_BUDGETS: &[(&str, usize)] = &[
+    ("crates/aryn-llm/src/client.rs", 1),
+    ("crates/sycamore/src/exec.rs", 1),
+    ("crates/luna/src/luna.rs", 1),
+];
+
+/// `thread::sleep` is banned outright in library code: latency must be
+/// charged to the virtual clock (`ReliabilityState::charge`), never waited
+/// out. Retry loops are frozen at the grandfathered sites above.
+fn sleep_retry_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    let mut sleeps: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let mut loops: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot list {}: {e}", crates.display()))?;
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        // xtask holds the patterns as string literals.
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        scan_dir_for(&dir.join("src"), root, &["thread::sleep("], &mut sleeps)?;
+        scan_dir_for(
+            &dir.join("src"),
+            root,
+            &["for attempt", "while attempt"],
+            &mut loops,
+        )?;
+    }
+    for (file, sites) in &sleeps {
+        for (lineno, line) in sites {
+            failures.push(format!(
+                "{file}:{lineno}: thread::sleep in library code: {line} — charge simulated \
+                 latency to the reliability layer's virtual clock instead (DESIGN.md §5f)"
+            ));
+        }
+    }
+    for (file, sites) in &loops {
+        let budget = RETRY_LOOP_BUDGETS
+            .iter()
+            .find(|(f, _)| f == file)
+            .map_or(0, |(_, n)| *n);
+        if sites.len() > budget {
+            for (lineno, line) in sites {
+                failures.push(format!("{file}:{lineno}: raw retry loop: {line}"));
+            }
+            failures.push(format!(
+                "{file}: {} retry loop(s), budget {budget} — route retries through \
+                 aryn_llm::reliability (metered, jittered, breaker-guarded) instead of \
+                 a hand-rolled attempt loop",
+                sites.len()
+            ));
+        } else if sites.len() < budget {
+            println!(
+                "xtask lint: note: {file} retry-loop budget {budget} but only {} site(s) — \
+                 tighten RETRY_LOOP_BUDGETS in crates/xtask/src/main.rs",
+                sites.len()
+            );
+        }
+    }
+    Ok(())
 }
 
 // --- Diagnostic-code doc check ----------------------------------------------
@@ -343,6 +421,31 @@ mod tests {
         let sites = scan_source_for(src, &["model.generate("]);
         let linenos: Vec<usize> = sites.iter().map(|(n, _)| *n).collect();
         assert_eq!(linenos, vec![2]);
+    }
+
+    #[test]
+    fn sleep_and_retry_patterns_are_detected() {
+        let src = "\
+fn wait() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+fn retry() {
+    for attempt in 0..3 {
+        let _ = attempt;
+    }
+}
+// comment: thread::sleep( and for attempt are fine here
+#[cfg(test)]
+mod tests {
+    fn t() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+";
+        let sleeps = scan_source_for(src, &["thread::sleep("]);
+        assert_eq!(sleeps.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![2]);
+        let loops = scan_source_for(src, &["for attempt", "while attempt"]);
+        assert_eq!(loops.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![5]);
     }
 
     #[test]

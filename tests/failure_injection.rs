@@ -151,3 +151,67 @@ fn context_overflow_is_a_clean_error_not_a_hang() {
     let fitted = client.fit_prompt(&huge, 128, |c| aryn_llm::prompt::tasks::answer("what?", c));
     assert!(client.generate(&fitted, 128).is_ok());
 }
+
+#[test]
+fn batched_path_absorbs_chaos_faults_identically_to_unbatched() {
+    // The micro-batcher shares the client's retry ladder: a rate-limit
+    // storm and a slow call hit the batched run too, and the surviving
+    // output must match the unbatched run document for document.
+    let schedule = ChaosSchedule::calm()
+        .with_window(FaultKind::RateLimit, 1, 2)
+        .with_window(FaultKind::Timeout, 4, 1);
+    let schema = obj! { "us_state_abbrev" => "string", "year" => "int" };
+    let run = |batch: usize, sched: ChaosSchedule| {
+        let ctx = Context::new();
+        ctx.register_corpus("ntsb", &Corpus::ntsb(7, 12));
+        ctx.set_batch(batch, 2048);
+        ctx.set_chaos(sched);
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(1))));
+        let docs = ctx
+            .read_lake("ntsb")
+            .unwrap()
+            .extract_properties(&client, schema.clone())
+            .collect()
+            .unwrap();
+        (docs, client.stats())
+    };
+    let (unbatched, _) = run(1, ChaosSchedule::calm());
+    let (batched, stats) = run(4, schedule);
+    assert_eq!(batched.len(), unbatched.len());
+    for (a, b) in batched.iter().zip(&unbatched) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.properties, b.properties, "batching + chaos changed an answer");
+    }
+    assert!(stats.batched_calls > 0, "the batched path actually ran: {stats:?}");
+    assert!(stats.retries > 0, "the faults actually fired: {stats:?}");
+}
+
+#[test]
+fn batched_path_honours_skip_failures_under_blackout() {
+    // A full-run endpoint blackout with no fallback tier: every batched
+    // item fails. skip_failures decides between counting and aborting —
+    // exactly as on the unbatched path.
+    let schema = obj! { "us_state_abbrev" => "string" };
+    let run = |skip: bool| {
+        let ctx = Context::new();
+        ctx.register_corpus("ntsb", &Corpus::ntsb(2, 6));
+        let ctx = ctx.with_exec(ExecConfig {
+            skip_failures: skip,
+            ..ExecConfig::default()
+        });
+        ctx.set_batch(4, 2048);
+        ctx.set_chaos(ChaosSchedule::calm().with_window(FaultKind::Blackout, 0, 10_000));
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(1))));
+        ctx.read_lake("ntsb")
+            .unwrap()
+            .extract_properties(&client, schema.clone())
+            .collect_stats()
+    };
+    match run(false) {
+        Err(ArynError::Exec(msg)) => assert!(msg.contains("blackout"), "{msg}"),
+        other => panic!("fail-stop policy must abort the pipeline: {other:?}"),
+    }
+    let (docs, stats) = run(true).unwrap();
+    assert!(docs.is_empty(), "no document can survive a total blackout");
+    assert_eq!(stats.total_failed_docs(), 6, "{stats:?}");
+}
