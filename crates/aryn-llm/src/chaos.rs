@@ -60,12 +60,37 @@ impl FaultWindow {
     }
 }
 
+/// How a schedule maps its windows onto calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaosKeying {
+    /// Windows cover the op's global call sequence in arrival order (the
+    /// default). Exact for sequential execution; under a parallel executor
+    /// the document→index mapping follows scheduling, so *which* document a
+    /// window hits can vary with the worker count.
+    #[default]
+    CallIndex,
+    /// Windows cover a virtual index derived from the request itself:
+    /// `stable_hash(prompt) % horizon`, plus a per-request attempt counter
+    /// so a retried request walks forward out of its window the way a
+    /// sequential retry walks the call clock. Scheduling-independent — the
+    /// same request faults identically at any worker count or morsel size —
+    /// which is what the morsel executor's determinism proptests need to
+    /// assert bit-identical output across thread counts under chaos.
+    RequestKey {
+        /// The virtual index space windows are laid out over; matches the
+        /// `horizon` of [`ChaosSchedule::from_seed`].
+        horizon: u64,
+    },
+}
+
 /// A seeded fault schedule over call indices.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ChaosSchedule {
     pub windows: Vec<FaultWindow>,
     /// Extra simulated latency added by a [`FaultKind::Timeout`] fault, ms.
     pub timeout_inflation_ms: f64,
+    /// How windows are mapped onto calls (arrival order by default).
+    pub keying: ChaosKeying,
 }
 
 impl ChaosSchedule {
@@ -93,7 +118,11 @@ impl ChaosSchedule {
             windows.push(FaultWindow { kind, start, len });
         }
         windows.sort_by_key(|w| (w.start, w.len));
-        ChaosSchedule { windows, timeout_inflation_ms: 60_000.0 }
+        ChaosSchedule {
+            windows,
+            timeout_inflation_ms: 60_000.0,
+            keying: ChaosKeying::CallIndex,
+        }
     }
 
     /// Adds one explicit window (builder style, for targeted tests).
@@ -105,6 +134,22 @@ impl ChaosSchedule {
     pub fn with_timeout_inflation(mut self, ms: f64) -> ChaosSchedule {
         self.timeout_inflation_ms = ms;
         self
+    }
+
+    /// Switches the schedule to [`ChaosKeying::RequestKey`]: faults land by
+    /// request content instead of arrival order, so they are reproducible
+    /// under any parallel schedule. A request's virtual index is
+    /// `stable_hash(prompt) % horizon + attempt`: the retry ladder's bumped
+    /// attempt numbers walk the request forward out of finite windows, so
+    /// short storms stay absorbable exactly as they are in arrival order.
+    pub fn keyed_by_request(mut self, horizon: u64) -> ChaosSchedule {
+        self.keying = ChaosKeying::RequestKey { horizon: horizon.max(1) };
+        self
+    }
+
+    /// The virtual index [`ChaosKeying::RequestKey`] assigns to a request.
+    pub fn request_index(prompt: &str, attempt: u32, horizon: u64) -> u64 {
+        stable_hash(0xC4A0_6B1D, &[prompt]) % horizon.max(1) + attempt as u64
     }
 
     /// The fault covering `call_idx`, if any (first matching window wins).
@@ -155,7 +200,13 @@ impl LanguageModel for ChaosModel {
     }
 
     fn generate(&self, req: &LlmRequest) -> Result<LlmResponse> {
-        let idx = self.calls.fetch_add(1, Ordering::SeqCst);
+        let arrival = self.calls.fetch_add(1, Ordering::SeqCst);
+        let idx = match self.schedule.keying {
+            ChaosKeying::CallIndex => arrival,
+            ChaosKeying::RequestKey { horizon } => {
+                ChaosSchedule::request_index(&req.prompt, req.attempt, horizon)
+            }
+        };
         let Some(kind) = self.schedule.fault_at(idx) else {
             return self.inner.generate(req);
         };
@@ -246,6 +297,43 @@ mod tests {
         assert!(wrapped.text.contains("```json"), "{}", wrapped.text);
         let truncated = m.generate(&req).unwrap();
         assert!(!truncated.text.contains("```"));
+    }
+
+    #[test]
+    fn request_keyed_faults_ignore_arrival_order() {
+        // Two requests, one of whose keys lands inside a blackout window.
+        // Under RequestKey the same request faults no matter how calls
+        // interleave — the property the morsel executor's cross-thread
+        // determinism proptests stand on.
+        let horizon = 64;
+        let a = LlmRequest::new("prompt alpha");
+        let b = LlmRequest::new("prompt beta");
+        let ia = ChaosSchedule::request_index(&a.prompt, 0, horizon);
+        let schedule = ChaosSchedule::calm()
+            .with_window(FaultKind::Blackout, ia, 1)
+            .keyed_by_request(horizon);
+        // Arrival order 1: a, b, a. Order 2: b, a, a. `a` always faults at
+        // attempt 0; `b` never does; `a` at attempt 1 has walked out of the
+        // 1-call window.
+        for order in [["a", "b", "a"], ["b", "a", "a"]] {
+            let m = chaotic(schedule.clone());
+            let mut a_seen = 0;
+            for who in order {
+                if who == "a" {
+                    let req = a.clone().with_attempt(a_seen);
+                    let res = m.generate(&req);
+                    if a_seen == 0 {
+                        assert!(res.is_err(), "first attempt of `a` must black out");
+                    } else {
+                        assert!(res.is_ok(), "retry walks out of the window");
+                    }
+                    a_seen += 1;
+                } else {
+                    assert!(m.generate(&b).is_ok(), "`b` never faults");
+                }
+            }
+            assert_eq!(m.faults_injected(), 1);
+        }
     }
 
     #[test]

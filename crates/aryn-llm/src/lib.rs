@@ -22,7 +22,7 @@ pub mod semantics;
 
 pub use batch::{run_batched, BatchConfig, BatchReport};
 pub use cache::{CacheKey, CacheStats, LlmCallCache};
-pub use chaos::{ChaosModel, ChaosSchedule, FaultKind, FaultWindow};
+pub use chaos::{ChaosKeying, ChaosModel, ChaosSchedule, FaultKind, FaultWindow};
 pub use client::{DegradedJson, LlmClient, RetryPolicy, UsageMeter, UsageStats};
 pub use reliability::{BreakerState, CircuitBreaker, ReliabilityPolicy, ReliabilityState};
 pub use embed::{cosine, EmbeddingModel, HashedBowEmbedder};

@@ -222,6 +222,16 @@ impl PlanExecutor {
     pub fn execute(&self, plan: &Plan) -> Result<LunaResult> {
         plan.validate()?;
         self.check_plan(plan)?;
+        // One span per plan run recording the execution mode the engine's
+        // per-doc stages will use. Gauges only: the mode shapes scheduling,
+        // never results, so it must stay out of the trace fingerprint.
+        let exec_cfg = self.ctx.exec_config();
+        if self.telemetry.is_enabled() && exec_cfg.threads > 1 {
+            let mut span = self.telemetry.span("exec_mode", "executor");
+            span.gauge("workers", exec_cfg.threads as f64)
+                .gauge("morsel_size", exec_cfg.morsel_size as f64);
+            span.finish();
+        }
         let order = plan.topo_order()?;
         let mut outputs: BTreeMap<usize, NodeOutput> = BTreeMap::new();
         let mut traces = Vec::with_capacity(order.len());

@@ -56,6 +56,16 @@ pub struct LunaConfig {
     /// of every execution model: rate-limit storms, timeout bursts,
     /// malformed-JSON streaks, endpoint blackouts. `None` = calm.
     pub chaos: Option<aryn_llm::ChaosSchedule>,
+    /// Worker threads for the engine's morsel-driven per-document stages.
+    /// 1 (the default) runs sequentially; higher counts split every fused
+    /// per-doc segment into work-stealing morsels. Never changes results —
+    /// only wall time and the per-worker telemetry gauges.
+    pub exec_workers: usize,
+    /// Documents per executor work morsel (upper bound; small inputs split
+    /// finer automatically).
+    pub exec_morsel_size: usize,
+    /// How idle executor workers acquire morsels.
+    pub exec_steal: sycamore::StealPolicy,
 }
 
 impl Default for LunaConfig {
@@ -74,6 +84,9 @@ impl Default for LunaConfig {
             batch_token_budget: 2048,
             reliability: None,
             chaos: None,
+            exec_workers: 1,
+            exec_morsel_size: 32,
+            exec_steal: sycamore::StealPolicy::Ring,
         }
     }
 }
@@ -101,6 +114,13 @@ impl Luna {
         if cfg.batch_max_items > 1 {
             ctx.set_batch(cfg.batch_max_items, cfg.batch_token_budget);
             optimizer.batch_max_items = cfg.batch_max_items;
+        }
+        // Parallelism rides the same channel as batching: a live mutation of
+        // the execution config, so the already-ingested sinks survive. Every
+        // semantic operator Luna's plan nodes build routes through the
+        // context's morsel executor and inherits these knobs.
+        if cfg.exec_workers > 1 || cfg.exec_morsel_size != 32 {
+            ctx.set_parallelism(cfg.exec_workers, cfg.exec_morsel_size, cfg.exec_steal);
         }
         // Reliability: one shared state (clock, budget, per-model breakers)
         // installed on the context, so every docset-level semantic operator
@@ -566,7 +586,24 @@ impl LunaAnswer {
         }
         let stages = self.trace.spans_of_kind("stage");
         if !stages.is_empty() {
-            out.push_str(&format!("engine stages: {}\n", stages.len()));
+            // Morsel-execution summary from the engine's stage spans: these
+            // are gauges (exact per-worker shard merges, but legally shaped
+            // by worker count and morsel size, so they stay out of the
+            // fingerprint).
+            let workers = stages.iter().map(|s| s.gauge("workers") as usize).max().unwrap_or(0);
+            let morsels: usize = stages.iter().map(|s| s.gauge("morsels") as usize).sum();
+            let steals: usize = stages.iter().map(|s| s.gauge("steals") as usize).sum();
+            if morsels > 0 {
+                out.push_str(&format!(
+                    "engine stages: {}  ({} workers, {} morsels, {} stolen)\n",
+                    stages.len(),
+                    workers,
+                    morsels,
+                    steals
+                ));
+            } else {
+                out.push_str(&format!("engine stages: {}\n", stages.len()));
+            }
         }
         out.push_str(&format!(
             "totals: {} llm calls  {} tokens  {} retries  ${:.4}  fingerprint {:016x}\n",

@@ -15,11 +15,30 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// How idle morsel workers acquire more work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Scan the other workers' deques in ring order and steal from the cold
+    /// end (the default). Keeps all workers busy under skew.
+    #[default]
+    Ring,
+    /// Never steal: a worker exits once its own deque drains. Useful for
+    /// isolating scheduling effects in tests and benchmarks.
+    Disabled,
+}
+
 /// How pipelines execute.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecConfig {
     /// Worker threads for per-document stages (1 = sequential).
     pub threads: usize,
+    /// Documents per work morsel in the parallel executor: each worker runs
+    /// one morsel through the whole fused segment before taking the next.
+    /// This is an upper bound — small inputs are split finer so every worker
+    /// gets work. Morsel size never affects results, only scheduling.
+    pub morsel_size: usize,
+    /// Work-stealing policy for idle morsel workers.
+    pub steal: StealPolicy,
     /// Injected worker-failure probability per (doc, attempt) — exercises
     /// the Ray-style retry path.
     pub fail_rate: f64,
@@ -42,6 +61,8 @@ impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             threads: 1,
+            morsel_size: 32,
+            steal: StealPolicy::Ring,
             fail_rate: 0.0,
             max_retries: 3,
             skip_failures: false,
@@ -156,6 +177,19 @@ impl Context {
         let mut exec = self.inner.exec.write();
         exec.batch_max_items = max_items.max(1);
         exec.batch_token_budget = token_budget.max(1);
+    }
+
+    /// Adjusts the parallel-execution knobs in place: worker count, morsel
+    /// size, and steal policy. Like [`Context::set_batch`] this mutates the
+    /// live context without discarding index sinks — parallelism is a
+    /// query-time concern (Luna applies its configured worker count to an
+    /// already-ingested context). Results never depend on these knobs, only
+    /// wall time does.
+    pub fn set_parallelism(&self, threads: usize, morsel_size: usize, steal: StealPolicy) {
+        let mut exec = self.inner.exec.write();
+        exec.threads = threads.max(1);
+        exec.morsel_size = morsel_size.max(1);
+        exec.steal = steal;
     }
 
     /// Installs a reliability policy on this context and returns the shared
@@ -335,6 +369,25 @@ mod tests {
         ctx.set_batch(0, 0);
         assert_eq!(ctx.exec_config().batch_max_items, 1);
         assert_eq!(ctx.exec_config().batch_token_budget, 1);
+    }
+
+    #[test]
+    fn set_parallelism_adjusts_live_context_and_clamps() {
+        let ctx = Context::new();
+        let d = ctx.exec_config();
+        assert_eq!(d.threads, 1);
+        assert_eq!(d.morsel_size, 32);
+        assert_eq!(d.steal, StealPolicy::Ring);
+        ctx.put_store("s", DocStore::new());
+        ctx.set_parallelism(8, 16, StealPolicy::Disabled);
+        let cfg = ctx.exec_config();
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.morsel_size, 16);
+        assert_eq!(cfg.steal, StealPolicy::Disabled);
+        assert!(ctx.read_store("s").is_ok(), "sinks survive the knob change");
+        ctx.set_parallelism(0, 0, StealPolicy::Ring);
+        assert_eq!(ctx.exec_config().threads, 1);
+        assert_eq!(ctx.exec_config().morsel_size, 1);
     }
 
     #[test]

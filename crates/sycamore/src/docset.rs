@@ -1,6 +1,10 @@
 //! DocSets: "reliable distributed collections ... the elements are
 //! hierarchical documents" (paper §3). A DocSet is a lazy plan over a source;
-//! transforms build the plan, actions execute it.
+//! transforms build the plan, actions execute it. Execution is morsel-driven
+//! (see [`crate::exec`] and DESIGN.md §5g): per-document transforms fuse into
+//! segments run in parallel over small document morsels, while barrier ops
+//! (sort, reduce, limit, summarize_all, materialize) synchronize the whole
+//! collection. Parallelism never changes results — only wall time.
 
 use crate::context::Context;
 use crate::op::{Agg, ElementSelector, Op, PartitionCfg};

@@ -1,23 +1,65 @@
 //! The execution engine: lazy plans run here.
 //!
-//! Plans execute stage by stage: maximal runs of per-document ops are fused
-//! and run document-parallel (the Ray-substitute: a crossbeam-based worker
-//! pool with injected-failure retry, §5.3); barrier ops (sort, reduce,
-//! limit, collection summarize, materialize) run on the gathered collection.
+//! Plans execute as morsel-driven pipelines (Leis et al.; DESIGN.md §5g):
+//! maximal runs of per-document ops are fused into segments, the input is
+//! split into small morsels, and each worker runs a morsel through the
+//! *entire* fused segment before touching the next — so operator boundaries
+//! inside a segment are never barriers. Idle workers steal morsels from the
+//! cold end of their peers' deques. Only semantically-required barriers
+//! remain collection-at-a-time: sort, reduce, limit, collection summarize,
+//! materialize, and micro-batched segments (which pack documents across one
+//! shared LLM call). Each worker owns a private [`WorkerStats`] shard —
+//! merged once at finalize, never locked mid-stage — so per-worker
+//! utilization gauges are exact, and retries of injected Ray-style failures
+//! stay keyed by `(seed, stage, doc, attempt)`, never by scheduling.
 
-use crate::context::Context;
+use crate::context::{Context, StealPolicy};
 use crate::docset::Source;
 use crate::op::Op;
-use crate::stats::{ExecStats, StageStats};
+use crate::stats::{ExecStats, StageStats, WorkerStats};
 use crate::transforms;
 use aryn_core::{stable_hash, ArynError, Document, Result};
 use aryn_llm::{CacheStats, UsageStats};
 use aryn_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Reads this thread's busy clock in nanoseconds. On Linux this is the
+/// thread CPU clock (`CLOCK_THREAD_CPUTIME_ID`), which only advances while
+/// the thread actually runs — so per-worker busy times, and the critical
+/// path derived from them, measure true work distribution even when the
+/// host has fewer cores than workers and threads timeshare. Elsewhere it
+/// falls back to a process-wide monotonic clock (busy times then include
+/// preemption).
+#[cfg(target_os = "linux")]
+fn busy_clock_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: clock_gettime writes one Timespec; the pointer is valid and
+    // the clock id is a constant the kernel supports for every thread.
+    if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } != 0 {
+        return 0;
+    }
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+#[cfg(not(target_os = "linux"))]
+fn busy_clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
 
 /// Combined meter snapshot of every LLM client held by `ops`, deduplicated
 /// by meter identity (a fused stage may share one meter across several ops).
@@ -62,14 +104,13 @@ fn cache_snapshot(ops: &[Op]) -> CacheStats {
 
 /// Records one executed stage into the context's trace. Deterministic facts
 /// (row counts, retries, LLM counters) go into span counters, which feed the
-/// trace fingerprint; wall times, costs, and per-worker utilization (racy
-/// under work stealing) go into gauges, which the fingerprint excludes.
-fn record_stage_span(
-    tel: &Telemetry,
-    stage: &StageStats,
-    delta: &UsageStats,
-    worker_docs: Option<&[usize]>,
-) {
+/// trace fingerprint. Wall times, costs, and the scheduling-shaped values —
+/// morsel counts, steal counts, per-worker docs and busy fractions — go into
+/// gauges, which the fingerprint excludes: they are *exact* (each worker
+/// owns its shard and the shards merge once at finalize) but they legally
+/// vary with worker count and morsel size, so they must not leak into the
+/// seed-deterministic fingerprint.
+fn record_stage_span(tel: &Telemetry, stage: &StageStats, delta: &UsageStats) {
     if !tel.is_enabled() {
         return;
     }
@@ -122,10 +163,16 @@ fn record_stage_span(
     if stage.llm_cost_saved_usd > 0.0 {
         span.gauge("llm_cost_saved_usd", stage.llm_cost_saved_usd);
     }
-    if let Some(workers) = worker_docs {
-        span.gauge("workers", workers.len() as f64);
-        for (w, n) in workers.iter().enumerate() {
-            span.gauge(&format!("worker_{w}_docs"), *n as f64);
+    if !stage.workers.is_empty() {
+        span.gauge("workers", stage.workers.len() as f64);
+        span.gauge("morsels", stage.morsels() as f64);
+        span.gauge("steals", stage.steals() as f64);
+        span.gauge("critical_path_ms", stage.critical_path_ms);
+        let fractions = stage.worker_busy_fractions();
+        for (w, shard) in stage.workers.iter().enumerate() {
+            span.gauge(&format!("worker_{w}_docs"), shard.docs as f64);
+            span.gauge(&format!("worker_{w}_busy_ms"), shard.busy_ms);
+            span.gauge(&format!("worker_{w}_busy_frac"), fractions[w]);
         }
     }
     span.finish();
@@ -166,7 +213,7 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 cache_hit: true,
                 ..StageStats::default()
             };
-            record_stage_span(&tel, &stage, &UsageStats::default(), None);
+            record_stage_span(&tel, &stage, &UsageStats::default());
             stats.stages.push(stage);
             (cached, idx + 1)
         }
@@ -184,11 +231,12 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
             docs = new_docs;
             let delta = llm_snapshot(op_slice).since(&before);
             let cache_delta = cache_snapshot(op_slice).since(&cache_before);
+            let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
             let stage = StageStats {
                 name: ops[i].name(),
                 rows_in,
                 rows_out: docs.len(),
-                wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+                wall_ms,
                 // A barrier has no per-doc worker retries, but its inner LLM
                 // work (e.g. summarize_all's hierarchical batches) can retry;
                 // the meter delta is the real count.
@@ -208,8 +256,12 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 fallback_calls: delta.fallback_calls,
                 degraded_docs: delta.degraded_docs,
                 cache_hit: false,
+                // A barrier runs on the coordinating thread: its critical
+                // path is its wall time and it has no worker shards.
+                workers: Vec::new(),
+                critical_path_ms: wall_ms,
             };
-            record_stage_span(&tel, &stage, &delta, None);
+            record_stage_span(&tel, &stage, &delta);
             stats.stages.push(stage);
             i += 1;
         } else {
@@ -227,6 +279,7 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
             docs = outcome.docs;
             let delta = llm_snapshot(segment).since(&before);
             let cache_delta = cache_snapshot(segment).since(&cache_before);
+            let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
             let stage = StageStats {
                 name: segment
                     .iter()
@@ -235,7 +288,7 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                     .join(" → "),
                 rows_in,
                 rows_out: docs.len(),
-                wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+                wall_ms,
                 retries: outcome.retries,
                 failed_docs: outcome.failed,
                 llm_calls: delta.calls,
@@ -250,15 +303,21 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                 fallback_calls: delta.fallback_calls,
                 degraded_docs: delta.degraded_docs,
                 cache_hit: false,
+                // Batched segments carry no per-worker shards (the
+                // coordinating thread issues the packed calls); their
+                // critical path is then simply the stage wall time.
+                critical_path_ms: if outcome.workers.is_empty() {
+                    wall_ms
+                } else {
+                    outcome
+                        .workers
+                        .iter()
+                        .map(|w| w.busy_ms)
+                        .fold(0.0, f64::max)
+                },
+                workers: outcome.workers,
             };
-            // Batched segments carry no per-worker attribution (the
-            // coordinating thread issues the packed calls).
-            let workers = if outcome.worker_docs.is_empty() {
-                None
-            } else {
-                Some(outcome.worker_docs.as_slice())
-            };
-            record_stage_span(&tel, &stage, &delta, workers);
+            record_stage_span(&tel, &stage, &delta);
             stats.stages.push(stage);
             i = j;
         }
@@ -329,34 +388,28 @@ struct SegmentOutcome {
     docs: Vec<Document>,
     retries: usize,
     failed: usize,
-    /// Documents processed per worker (length = pool size; empty for batched
-    /// segments, which have no per-worker attribution). *Which* worker got a
-    /// given document is scheduling-dependent under work stealing, so the
-    /// per-worker split feeds gauges only — but each worker counts its own
-    /// documents exactly, so the sum always equals the number of input
-    /// documents (the differential harness asserts this invariant).
-    worker_docs: Vec<usize>,
+    /// Per-worker stats shards (empty for batched segments, which have no
+    /// per-worker attribution). *Which* worker got a given document is
+    /// scheduling-dependent under work stealing, so the per-worker split
+    /// feeds gauges only — but each worker counts its own work in a shard it
+    /// exclusively owns, so the shard sums always equal the stage totals
+    /// (the differential and stats-invariant tests pin this).
+    workers: Vec<WorkerStats>,
     /// Documents per packed micro-batch call, in issue order. Empty unless
     /// this segment ran a batchable op with batching enabled.
     batch_sizes: Vec<usize>,
 }
 
-/// True for ops the micro-batch packer (DESIGN.md §5e) can run
-/// collection-at-a-time.
-fn is_batchable(op: &Op) -> bool {
-    matches!(op, Op::LlmFilter { .. } | Op::ExtractProperties { .. })
-}
-
-/// Applies a fused run of per-doc ops over all documents, in parallel when
-/// configured, with cross-document micro-batching when enabled.
+/// Applies a fused run of per-doc ops over all documents — morsel-parallel
+/// when configured, with cross-document micro-batching when enabled.
 fn run_segment(ctx: &Context, segment: &[Op], docs: Vec<Document>) -> Result<SegmentOutcome> {
     let cfg = ctx.exec_config();
-    if cfg.batch_max_items > 1 && segment.iter().any(is_batchable) {
+    if cfg.batch_max_items > 1 && segment.iter().any(Op::is_batchable) {
         run_segment_batched(ctx, segment, docs)
-    } else if cfg.threads <= 1 {
+    } else if cfg.threads <= 1 || docs.len() <= 1 {
         run_segment_sequential(ctx, segment, docs)
     } else {
-        run_segment_parallel(ctx, segment, docs)
+        run_segment_morsels(ctx, segment, docs)
     }
 }
 
@@ -381,12 +434,12 @@ fn run_segment_batched(
         docs,
         retries: 0,
         failed: 0,
-        worker_docs: Vec::new(),
+        workers: Vec::new(),
         batch_sizes: Vec::new(),
     };
     let mut i = 0;
     while i < segment.len() {
-        if is_batchable(&segment[i]) {
+        if segment[i].is_batchable() {
             let (docs, failed, report) =
                 transforms::apply_batched(ctx, &segment[i], std::mem::take(&mut acc.docs), bcfg)?;
             acc.docs = docs;
@@ -395,13 +448,14 @@ fn run_segment_batched(
             i += 1;
         } else {
             let mut j = i;
-            while j < segment.len() && !is_batchable(&segment[j]) {
+            while j < segment.len() && !segment[j].is_batchable() {
                 j += 1;
             }
-            let sub = if cfg.threads <= 1 {
-                run_segment_sequential(ctx, &segment[i..j], std::mem::take(&mut acc.docs))?
+            let sub_docs = std::mem::take(&mut acc.docs);
+            let sub = if cfg.threads <= 1 || sub_docs.len() <= 1 {
+                run_segment_sequential(ctx, &segment[i..j], sub_docs)?
             } else {
-                run_segment_parallel(ctx, &segment[i..j], std::mem::take(&mut acc.docs))?
+                run_segment_morsels(ctx, &segment[i..j], sub_docs)?
             };
             acc.docs = sub.docs;
             acc.retries += sub.retries;
@@ -482,56 +536,92 @@ fn run_segment_sequential(
         .map(Op::name)
         .collect::<Vec<_>>()
         .join(",");
-    let n = docs.len();
     let mut out = Vec::with_capacity(docs.len());
-    let mut retries = 0;
-    let mut failed = 0;
+    let mut shard = WorkerStats::default();
+    let t0 = busy_clock_ns();
     for doc in docs {
         let id = doc.id.clone();
         let (res, r) = process_doc(ctx, segment, &tag, doc);
-        retries += r;
+        shard.retries += r;
+        shard.docs += 1;
         match res {
             Ok(mut produced) => out.append(&mut produced),
             Err(e) => {
                 if cfg.skip_failures {
-                    failed += 1;
+                    shard.failed += 1;
                 } else {
                     return Err(ArynError::Exec(format!("{id:?}: {e}")));
                 }
             }
         }
     }
+    shard.busy_ms = (busy_clock_ns().saturating_sub(t0)) as f64 / 1e6;
     Ok(SegmentOutcome {
         docs: out,
-        retries,
-        failed,
-        worker_docs: vec![n],
+        retries: shard.retries,
+        failed: shard.failed,
+        workers: vec![shard],
         batch_sizes: Vec::new(),
     })
 }
 
-/// Work item in the parallel pool.
-struct Task {
-    index: usize,
-    doc: Document,
+/// A morsel: a small contiguous run of input documents. `id` is the morsel's
+/// position in input order (its result slot); `base` is the input index of
+/// its first document (for fail-stop error reporting). Morsels are cut
+/// positionally, so the reassembled output is bit-identical to the
+/// sequential result regardless of morsel size, worker count, or who stole
+/// what.
+struct Morsel {
+    id: usize,
+    base: usize,
+    docs: Vec<Document>,
 }
 
-/// Shared state of the worker pool: the pending queue and the count of
-/// completed tasks, guarded by one `std` mutex so idle workers can park on
-/// the paired condvar (the vendored `parking_lot` has no `Condvar`).
-struct PoolState {
-    queue: VecDeque<Task>,
-    done: usize,
+/// What one completed morsel contributes: its output documents (in input
+/// order) and how many of its documents failed permanently (skip mode).
+type MorselResult = (Vec<Document>, usize);
+
+/// The effective morsel size: the configured size, shrunk for small inputs
+/// so the work splits into at least ~4 morsels per worker. Load balance
+/// only — never semantics.
+fn effective_morsel_size(cfg_size: usize, n: usize, workers: usize) -> usize {
+    let target = n.div_ceil(workers.max(1) * 4).max(1);
+    cfg_size.max(1).min(target)
 }
 
-/// `std` mutex lock that shrugs off poisoning: a panicked worker already
-/// surfaces as an execution error via the crossbeam scope, so survivors may
-/// keep draining what state remains.
-fn pool_lock<'a>(m: &'a StdMutex<PoolState>) -> std::sync::MutexGuard<'a, PoolState> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Pops the next morsel for worker `w`: its own deque from the hot end,
+/// then — under [`StealPolicy::Ring`] — its peers' deques from the cold end
+/// in ring order. `None` means no work is left anywhere this worker may
+/// look: since no morsel is ever produced mid-stage, that is a terminal
+/// condition and the worker exits (no condvar, no spinning).
+fn next_morsel(
+    w: usize,
+    deques: &[Mutex<VecDeque<Morsel>>],
+    steal: StealPolicy,
+) -> Option<(Morsel, bool)> {
+    if let Some(m) = deques[w].lock().pop_front() {
+        return Some((m, false));
+    }
+    if steal == StealPolicy::Disabled {
+        return None;
+    }
+    let k = deques.len();
+    for off in 1..k {
+        if let Some(m) = deques[(w + off) % k].lock().pop_back() {
+            return Some((m, true));
+        }
+    }
+    None
 }
 
-fn run_segment_parallel(
+/// The morsel-driven parallel path (DESIGN.md §5g). Input documents are cut
+/// into positional morsels, dealt round-robin onto per-worker deques, and
+/// each worker runs one morsel at a time through the whole fused segment.
+/// Results land in a slot per morsel, so reassembly is in input order. All
+/// statistics live in per-worker shards owned `&mut` by their worker — the
+/// only shared mutable state is the deques, one result-slot write per
+/// morsel, and the fail-stop flag.
+fn run_segment_morsels(
     ctx: &Context,
     segment: &[Op],
     docs: Vec<Document>,
@@ -543,101 +633,111 @@ fn run_segment_parallel(
         .collect::<Vec<_>>()
         .join(",");
     let n = docs.len();
-    let state: StdMutex<PoolState> = StdMutex::new(PoolState {
-        queue: docs
-            .into_iter()
-            .enumerate()
-            .map(|(index, doc)| Task { index, doc })
-            .collect(),
-        done: 0,
-    });
-    // Signals idle workers when the pool drains. No tasks are ever added
-    // after start, so the only event a parked worker needs is completion —
-    // a condvar wait instead of the old `yield_now()` spin, which burned
-    // cores exactly when long calls (or single-flight cache waits) kept the
-    // queue empty for a while.
-    let drained = Condvar::new();
-    let retries_total = AtomicUsize::new(0);
-    // Per-worker document counts: each worker tallies locally and publishes
-    // its exact total once at exit. The old per-task `fetch_add` on shared
-    // atomics was attribution by side effect — counts could interleave with
-    // reads taken mid-stage and never carried a guarantee that they summed
-    // to the documents processed. A single write under the lock makes the
-    // invariant `sum(worker_docs) == n` structural.
-    let worker_counts: Mutex<Vec<usize>> = Mutex::new(vec![0; cfg.threads]);
-    // Slot per input document: output docs or terminal error.
-    let results: Mutex<Vec<Option<Result<Vec<Document>>>>> = Mutex::new((0..n).map(|_| None).collect());
+    let msize = effective_morsel_size(cfg.morsel_size, n, cfg.threads);
+    let num_morsels = n.div_ceil(msize);
+    let workers = cfg.threads.min(num_morsels).max(1);
 
-    crossbeam::thread::scope(|scope| {
-        for w in 0..cfg.threads {
-            let state = &state;
-            let drained = &drained;
-            let results = &results;
-            let retries_total = &retries_total;
-            let worker_counts = &worker_counts;
-            let tag = &tag;
-            scope.spawn(move |_| {
-                let mut processed = 0usize;
-                loop {
-                    let task = {
-                        let mut g = pool_lock(state);
-                        loop {
-                            if let Some(t) = g.queue.pop_front() {
-                                break Some(t);
+    // Cut the input into positional morsels and deal them round-robin.
+    let deques: Vec<Mutex<VecDeque<Morsel>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut docs = docs.into_iter();
+    let mut base = 0usize;
+    for id in 0..num_morsels {
+        let chunk: Vec<Document> = docs.by_ref().take(msize).collect();
+        let len = chunk.len();
+        deques[id % workers].lock().push_back(Morsel { id, base, docs: chunk });
+        base += len;
+    }
+
+    // One result slot per morsel; one shard per worker; a fail-stop flag
+    // plus the first error seen (lowest input index wins, matching the
+    // sequential path as closely as scheduling allows).
+    let slots: Mutex<Vec<Option<MorselResult>>> = Mutex::new((0..num_morsels).map(|_| None).collect());
+    let first_error: Mutex<Option<(usize, ArynError)>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let mut shards: Vec<WorkerStats> = (0..workers).map(|_| WorkerStats::default()).collect();
+
+    let worker_loop = |w: usize, shard: &mut WorkerStats| {
+        while !abort.load(Ordering::Relaxed) {
+            let Some((morsel, stolen)) = next_morsel(w, &deques, cfg.steal) else {
+                break;
+            };
+            shard.morsels += 1;
+            if stolen {
+                shard.steals += 1;
+            }
+            let t0 = busy_clock_ns();
+            let mut out = Vec::with_capacity(morsel.docs.len());
+            let mut failed = 0usize;
+            let mut fatal = false;
+            for (k, doc) in morsel.docs.into_iter().enumerate() {
+                if abort.load(Ordering::Relaxed) {
+                    fatal = true;
+                    break;
+                }
+                let id = doc.id.clone();
+                let (res, r) = process_doc(ctx, segment, &tag, doc);
+                shard.retries += r;
+                shard.docs += 1;
+                match res {
+                    Ok(mut produced) => out.append(&mut produced),
+                    Err(e) => {
+                        if cfg.skip_failures {
+                            failed += 1;
+                            shard.failed += 1;
+                        } else {
+                            let index = morsel.base + k;
+                            let mut g = first_error.lock();
+                            if g.as_ref().is_none_or(|(i, _)| index < *i) {
+                                *g = Some((index, ArynError::Exec(format!("doc #{index} ({id:?}): {e}"))));
                             }
-                            if g.done >= n {
-                                break None;
-                            }
-                            g = drained
-                                .wait(g)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            abort.store(true, Ordering::Relaxed);
+                            fatal = true;
+                            break;
                         }
-                    };
-                    match task {
-                        Some(Task { index, doc }) => {
-                            let (res, r) = process_doc(ctx, segment, tag, doc);
-                            retries_total.fetch_add(r, Ordering::Relaxed);
-                            processed += 1;
-                            results.lock()[index] = Some(res);
-                            let finished = {
-                                let mut g = pool_lock(state);
-                                g.done += 1;
-                                g.done >= n
-                            };
-                            if finished {
-                                drained.notify_all();
-                            }
-                        }
-                        None => break,
                     }
                 }
-                worker_counts.lock()[w] = processed;
-            });
-        }
-    })
-    .map_err(|_| ArynError::Exec("worker thread panicked".into()))?;
-
-    let mut out = Vec::with_capacity(n);
-    let mut failed = 0;
-    for (i, slot) in results.into_inner().into_iter().enumerate() {
-        match slot.expect("every task completed") {
-            Ok(mut produced) => out.append(&mut produced),
-            Err(e) => {
-                if cfg.skip_failures {
-                    failed += 1;
-                } else {
-                    return Err(ArynError::Exec(format!("doc #{i}: {e}")));
-                }
             }
+            shard.busy_ms += (busy_clock_ns().saturating_sub(t0)) as f64 / 1e6;
+            if fatal {
+                break;
+            }
+            slots.lock()[morsel.id] = Some((out, failed));
         }
+    };
+
+    if let Some((caller_shard, spawned)) = shards.split_first_mut() {
+        crossbeam::thread::scope(|scope| {
+            for (i, shard) in spawned.iter_mut().enumerate() {
+                let worker_loop = &worker_loop;
+                scope.spawn(move |_| worker_loop(i + 1, shard));
+            }
+            // The coordinating thread participates as worker 0, so
+            // `threads: k` spawns only k-1 OS threads and small segments do
+            // not pay a full fleet of spawns.
+            worker_loop(0, caller_shard);
+        })
+        .map_err(|_| ArynError::Exec("worker thread panicked".into()))?;
     }
-    let worker_docs = worker_counts.into_inner();
-    debug_assert_eq!(worker_docs.iter().sum::<usize>(), n);
+
+    if let Some((_, e)) = first_error.into_inner() {
+        return Err(e);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut failed = 0usize;
+    // Every slot is Some here: a missing slot implies an aborted morsel,
+    // and every abort records a first_error, which returned above.
+    for (mut produced, f) in slots.into_inner().into_iter().flatten() {
+        out.append(&mut produced);
+        failed += f;
+    }
+    let retries = shards.iter().map(|s| s.retries).sum();
+    debug_assert_eq!(shards.iter().map(|s| s.docs).sum::<usize>(), n);
     Ok(SegmentOutcome {
         docs: out,
-        retries: retries_total.into_inner(),
+        retries,
         failed,
-        worker_docs,
+        workers: shards,
         batch_sizes: Vec::new(),
     })
 }

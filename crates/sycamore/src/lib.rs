@@ -2,8 +2,9 @@
 //!
 //! The DocSet document-processing engine (paper §5): a Spark-like lazy
 //! dataflow over hierarchical documents with core, structural, analytic, and
-//! LLM-powered transforms (Table 1), a document-parallel executor with
-//! Ray-style failure retry (§5.3), named materializations (memory or disk),
+//! LLM-powered transforms (Table 1), a morsel-driven document-parallel
+//! executor with work stealing and Ray-style failure retry (§5.3), named
+//! materializations (memory or disk),
 //! per-document lineage, and writers into keyword/vector/document stores.
 //!
 //! ```
@@ -27,8 +28,8 @@ pub mod op;
 pub mod stats;
 pub mod transforms;
 
-pub use context::{Context, ExecConfig};
+pub use context::{Context, ExecConfig, StealPolicy};
 pub use docset::{DocSet, Source};
 pub use op::{Agg, ElementSelector, Op, PartitionCfg};
-pub use stats::{ExecStats, StageStats};
+pub use stats::{ExecStats, StageStats, WorkerStats};
 pub use transforms::load_materialized;

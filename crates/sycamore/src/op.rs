@@ -289,6 +289,15 @@ impl Op {
                 | Op::Materialize { .. }
         )
     }
+
+    /// True for ops the micro-batch packer (DESIGN.md §5e) can run
+    /// collection-at-a-time, packing documents into shared LLM calls. When
+    /// batching is enabled these become soft barriers: the morsel executor
+    /// hands the whole collection to the packer instead of streaming
+    /// per-document morsels through them.
+    pub fn is_batchable(&self) -> bool {
+        matches!(self, Op::LlmFilter { .. } | Op::ExtractProperties { .. })
+    }
 }
 
 impl std::fmt::Debug for Op {

@@ -6,6 +6,32 @@
 //! stage's calls/tokens/cost are attributed to it even when several stages
 //! share a client.
 
+/// One worker's statistics shard for one fused per-doc stage. Each morsel
+/// worker owns exactly one shard (`&mut`, no locks) while the stage runs;
+/// the shards are merged into the stage totals once at finalize. *Which*
+/// worker processed a given document is scheduling-dependent under work
+/// stealing, but every shard is exact — so the shard sums always equal the
+/// stage totals (`sum(docs) == rows_in`, `sum(retries) == retries`,
+/// `sum(failed) == failed_docs`), an invariant the stats tests pin.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerStats {
+    /// Input documents this worker ran through the fused segment.
+    pub docs: usize,
+    /// Worker-failure retries this worker performed.
+    pub retries: usize,
+    /// Documents that failed permanently on this worker (skip mode).
+    pub failed: usize,
+    /// Morsels this worker executed (own deque + stolen).
+    pub morsels: usize,
+    /// Morsels this worker stole from another worker's deque.
+    pub steals: usize,
+    /// Time this worker spent processing morsels, on the per-thread busy
+    /// clock (thread CPU time on Linux): immune to preemption, so the
+    /// critical path `max(busy_ms)` reflects true work distribution even
+    /// when the host has fewer cores than workers.
+    pub busy_ms: f64,
+}
+
 /// Counters for one executed stage (one op, or one fused per-doc chain).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageStats {
@@ -49,6 +75,17 @@ pub struct StageStats {
     /// True if this stage was served from a materialize cache instead of
     /// being recomputed.
     pub cache_hit: bool,
+    /// Per-worker shards, merged at finalize. One entry per worker for
+    /// morsel-executed per-doc stages (length 1 for the sequential path);
+    /// empty for barrier and batched stages, which run collection-at-a-time
+    /// on the coordinating thread.
+    pub workers: Vec<WorkerStats>,
+    /// The stage's critical path: the longest per-worker busy time for
+    /// morsel stages, wall time for barrier/batched stages. The makespan a
+    /// perfectly parallel host would observe — the scaling bench and the
+    /// regression guard compare this across worker counts, which stays
+    /// meaningful even on hosts with fewer cores than workers.
+    pub critical_path_ms: f64,
 }
 
 impl StageStats {
@@ -60,6 +97,27 @@ impl StageStats {
             *hist.entry(*s).or_insert(0usize) += 1;
         }
         hist.into_iter().collect()
+    }
+
+    /// Morsels executed by this stage's workers (0 for barrier/batched
+    /// stages).
+    pub fn morsels(&self) -> usize {
+        self.workers.iter().map(|w| w.morsels).sum()
+    }
+
+    /// Morsels acquired by stealing rather than from the owner's deque.
+    pub fn steals(&self) -> usize {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Each worker's busy fraction of the stage's wall time, in worker
+    /// order. On an unloaded many-core host these approach 1.0 for balanced
+    /// stages; on an oversubscribed host they sum to about the core count.
+    pub fn worker_busy_fractions(&self) -> Vec<f64> {
+        if self.wall_ms <= 0.0 {
+            return vec![0.0; self.workers.len()];
+        }
+        self.workers.iter().map(|w| w.busy_ms / self.wall_ms).collect()
     }
 }
 
@@ -126,6 +184,25 @@ impl ExecStats {
         self.stages.iter().map(|s| s.degraded_docs).sum()
     }
 
+    /// Morsels executed across all stages.
+    pub fn total_morsels(&self) -> usize {
+        self.stages.iter().map(StageStats::morsels).sum()
+    }
+
+    /// Stolen morsels across all stages.
+    pub fn total_steals(&self) -> usize {
+        self.stages.iter().map(StageStats::steals).sum()
+    }
+
+    /// The pipeline's critical path: per-doc stages contribute their longest
+    /// worker busy time, barriers their wall time. This is the makespan on
+    /// the executor's virtual clock — what a host with one core per worker
+    /// would observe end to end — and the quantity the scaling regression
+    /// guard pins (it must not increase with the worker count).
+    pub fn total_critical_path_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.critical_path_ms).sum()
+    }
+
     /// Histogram of micro-batch sizes across all stages: sorted
     /// `(size, count)` pairs.
     pub fn batch_size_histogram(&self) -> Vec<(usize, usize)> {
@@ -187,6 +264,25 @@ mod tests {
                     fallback_calls: 2,
                     degraded_docs: 3,
                     cache_hit: false,
+                    workers: vec![
+                        WorkerStats {
+                            docs: 6,
+                            retries: 2,
+                            failed: 1,
+                            morsels: 2,
+                            steals: 1,
+                            busy_ms: 1.2,
+                        },
+                        WorkerStats {
+                            docs: 4,
+                            retries: 0,
+                            failed: 0,
+                            morsels: 1,
+                            steals: 0,
+                            busy_ms: 0.9,
+                        },
+                    ],
+                    critical_path_ms: 1.2,
                 },
                 StageStats {
                     name: "count".into(),
@@ -211,6 +307,12 @@ mod tests {
         assert_eq!(stats.total_breaker_trips(), 1);
         assert_eq!(stats.total_fallback_calls(), 2);
         assert_eq!(stats.total_degraded_docs(), 3);
+        assert_eq!(stats.total_morsels(), 3);
+        assert_eq!(stats.total_steals(), 1);
+        assert!((stats.total_critical_path_ms() - 1.2).abs() < 1e-9);
+        let fr = stats.stages[0].worker_busy_fractions();
+        assert_eq!(fr.len(), 2);
+        assert!((fr[0] - 0.8).abs() < 1e-9, "{fr:?}");
         let r = stats.render();
         assert!(r.contains("filter(x)"));
         assert!(r.contains("550"));

@@ -1,4 +1,10 @@
 //! Implementations of the per-document and barrier transforms.
+//!
+//! [`apply_per_doc`] is the unit of work the morsel executor schedules: it
+//! must stay a pure function of `(op, doc)` plus deterministic context state,
+//! because the executor calls it from multiple workers in arbitrary order and
+//! relies on output assembly by input position — never arrival order — for
+//! bit-identical results at any parallelism (DESIGN.md §5g).
 
 use crate::context::Context;
 use crate::op::{Agg, ElementSelector, Op, PartitionCfg};

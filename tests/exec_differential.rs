@@ -154,6 +154,91 @@ fn worker_doc_attribution_sums_to_docs_processed() {
 }
 
 #[test]
+fn morsel_size_and_steal_policy_never_change_results() {
+    // Morsel granularity and the steal policy are pure scheduling knobs: the
+    // same pipeline must be bit-identical across every combination, including
+    // degenerate one-doc morsels and stealing disabled entirely.
+    let run = |morsel_size: usize, steal: StealPolicy| {
+        let ctx = Context::new().with_exec(ExecConfig {
+            threads: 8,
+            morsel_size,
+            steal,
+            fail_rate: 0.25,
+            max_retries: 10,
+            skip_failures: true,
+            seed: 0xD1FF,
+            ..ExecConfig::default()
+        });
+        let corpus = Corpus::ntsb(17, 14);
+        ctx.register_corpus("ntsb", &corpus);
+        let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(17))));
+        ctx.read_lake("ntsb")
+            .unwrap()
+            .partition("ntsb", PartitionCfg::default())
+            .extract_properties(
+                &client,
+                obj! { "us_state_abbrev" => "string", "fatal" => "int" },
+            )
+            .explode()
+            .embed()
+            .collect_stats()
+            .unwrap()
+    };
+    let (baseline_docs, baseline_stats) = run(32, StealPolicy::Ring);
+    for morsel_size in [1usize, 2, 7, 64] {
+        for steal in [StealPolicy::Ring, StealPolicy::Disabled] {
+            let (docs, stats) = run(morsel_size, steal);
+            assert_identical(
+                &baseline_docs,
+                &docs,
+                &format!("morsel_size={morsel_size} steal={steal:?}"),
+            );
+            assert_eq!(
+                baseline_stats.total_retries(),
+                stats.total_retries(),
+                "morsel_size={morsel_size} steal={steal:?}: retries"
+            );
+            assert_eq!(baseline_stats.total_failed_docs(), stats.total_failed_docs());
+            assert_eq!(baseline_stats.total_llm_calls(), stats.total_llm_calls());
+        }
+    }
+}
+
+#[test]
+fn stats_shards_account_for_every_document_at_every_thread_count() {
+    // Same invariant the telemetry gauges pin, but read straight off
+    // ExecStats: for every per-doc stage the merged worker shards must
+    // account for each input document, retry, and permanent failure exactly.
+    for threads in [1usize, 2, 4, 8] {
+        let (_docs, stats) = run_pipeline(threads, 0.25, true);
+        for s in stats.stages.iter().filter(|s| !s.workers.is_empty()) {
+            assert_eq!(
+                s.workers.iter().map(|w| w.docs).sum::<usize>(),
+                s.rows_in,
+                "threads={threads}, stage {}: shard docs",
+                s.name
+            );
+            assert_eq!(
+                s.workers.iter().map(|w| w.retries).sum::<usize>(),
+                s.retries,
+                "threads={threads}, stage {}: shard retries",
+                s.name
+            );
+            assert_eq!(
+                s.workers.iter().map(|w| w.failed).sum::<usize>(),
+                s.failed_docs,
+                "threads={threads}, stage {}: shard failures",
+                s.name
+            );
+            if threads == 1 {
+                assert_eq!(s.workers.len(), 1, "sequential path is a single shard");
+                assert_eq!(s.morsels(), 0, "sequential path cuts no morsels");
+            }
+        }
+    }
+}
+
+#[test]
 fn repeated_runs_are_bit_identical_per_seed() {
     let (a, sa) = run_pipeline(8, 0.25, true);
     let (b, sb) = run_pipeline(8, 0.25, true);

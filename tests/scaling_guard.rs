@@ -1,0 +1,100 @@
+//! S3 of the morsel-executor PR: a cheap, criterion-free regression guard
+//! against the negative scaling the old collection-at-a-time executor
+//! exhibited (9.6ms @ 1 worker → 13.4ms @ 4 in the seed's
+//! `bench_results/sycamore_scaling.txt`).
+//!
+//! The guard runs a CPU-bound 1k-document pipeline at 1 and 8 workers and
+//! compares **critical paths on the executor's virtual clock**: each worker
+//! accumulates busy time on its thread CPU clock (immune to preemption), and
+//! a stage's critical path is its longest worker busy time — the wall time a
+//! host with one core per worker would observe. Comparing critical paths
+//! keeps the guard meaningful on throttled or single-core CI runners, where
+//! real wall time cannot speed up no matter how good the executor is.
+
+use aryn::prelude::*;
+use aryn_core::{stable_hash, Document};
+use sycamore::ExecStats;
+
+/// ~tens of microseconds of pure CPU per document: enough to swamp morsel
+/// bookkeeping, small enough to keep the guard cheap.
+fn cpu_work(seed: &str) -> u64 {
+    let mut acc = 0u64;
+    let mut token = seed.to_string();
+    for _ in 0..150 {
+        acc = acc.wrapping_add(stable_hash(acc, &[token.as_str()]));
+        token = format!("{acc:x}");
+    }
+    acc
+}
+
+fn run(threads: usize, n_docs: usize) -> ExecStats {
+    let ctx = Context::new().with_exec(ExecConfig {
+        threads,
+        ..ExecConfig::default()
+    });
+    let docs: Vec<Document> = (0..n_docs)
+        .map(|i| Document::from_text(format!("doc-{i:04}"), format!("payload {i}")))
+        .collect();
+    let (_out, stats) = ctx
+        .read_docs(docs)
+        .map("hashwork", |mut d| {
+            let acc = cpu_work(d.id.as_str());
+            d.set_prop("acc", acc as i64);
+            d
+        })
+        .filter("keep_all", |d| d.prop("acc").is_some())
+        .collect_stats()
+        .unwrap();
+    stats
+}
+
+#[test]
+fn eight_workers_never_slower_than_one_on_the_virtual_clock() {
+    let s1 = run(1, 1000);
+    let s8 = run(8, 1000);
+    let cp1 = s1.total_critical_path_ms();
+    let cp8 = s8.total_critical_path_ms();
+    assert!(cp1 > 0.0, "1-worker critical path must be measured: {cp1}");
+    assert!(cp8 > 0.0, "8-worker critical path must be measured: {cp8}");
+    // The regression guard proper: adding workers must never lengthen the
+    // virtual-clock wall time. This is what the old executor violated.
+    assert!(
+        cp8 <= cp1,
+        "8 workers must not be slower than 1 on the virtual clock: \
+         {cp8:.3}ms @ 8 vs {cp1:.3}ms @ 1"
+    );
+    // And the speedup must be real, not a wash: the work is embarrassingly
+    // parallel, so even with morsel bookkeeping the critical path should
+    // shrink by well over the acceptance floor of 2.5x.
+    assert!(
+        cp1 / cp8 >= 2.5,
+        "expected >= 2.5x critical-path speedup at 8 workers, got {:.2}x \
+         ({cp1:.3}ms -> {cp8:.3}ms)",
+        cp1 / cp8
+    );
+    // The morsel machinery really ran: the parallel run cut morsels, the
+    // sequential baseline none.
+    assert_eq!(s1.total_morsels(), 0, "sequential path cuts no morsels");
+    assert!(
+        s8.total_morsels() >= 8,
+        "8-worker run must split into morsels: {}",
+        s8.total_morsels()
+    );
+}
+
+#[test]
+fn critical_path_is_monotone_in_worker_count() {
+    // Cheaper sweep (fewer docs) across the full ladder: the virtual-clock
+    // wall time must be non-increasing from 1 -> 2 -> 4 -> 8 workers, with
+    // a little slack for timer noise at the fast end.
+    let mut prev = f64::INFINITY;
+    for threads in [1usize, 2, 4, 8] {
+        let cp = run(threads, 400).total_critical_path_ms();
+        assert!(
+            cp <= prev * 1.10,
+            "critical path must not grow with workers: {cp:.3}ms @ {threads} \
+             after {prev:.3}ms"
+        );
+        prev = cp;
+    }
+}

@@ -113,6 +113,133 @@ fn telemetry_mirrors_exec_stats() {
 }
 
 #[test]
+fn worker_shards_sum_exactly_to_stage_totals() {
+    // The morsel executor gives every worker a private stats shard and merges
+    // the shards once at finalize. *Which* worker handled a document is
+    // scheduling-dependent; the shard sums are not: for every per-doc stage
+    // they must equal the stage totals exactly, at any worker count.
+    for threads in [1usize, 2, 4, 8] {
+        let (_ctx, _docs, stats) = conserving_pipeline(threads, 0.3, 16, true);
+        let mut sharded_stages = 0;
+        for s in &stats.stages {
+            if s.workers.is_empty() {
+                continue; // barrier/batched stages run collection-at-a-time
+            }
+            sharded_stages += 1;
+            assert_eq!(
+                s.workers.iter().map(|w| w.docs).sum::<usize>(),
+                s.rows_in,
+                "threads={threads}, stage {}: worker docs must sum to rows_in",
+                s.name
+            );
+            assert_eq!(
+                s.workers.iter().map(|w| w.retries).sum::<usize>(),
+                s.retries,
+                "threads={threads}, stage {}: worker retries must sum to stage retries",
+                s.name
+            );
+            assert_eq!(
+                s.workers.iter().map(|w| w.failed).sum::<usize>(),
+                s.failed_docs,
+                "threads={threads}, stage {}: worker failures must sum to failed_docs",
+                s.name
+            );
+            assert!(
+                s.steals() <= s.morsels(),
+                "threads={threads}, stage {}: every steal is a morsel",
+                s.name
+            );
+            let max_busy = s.workers.iter().map(|w| w.busy_ms).fold(0.0f64, f64::max);
+            assert!(
+                (s.critical_path_ms - max_busy).abs() < 1e-9,
+                "threads={threads}, stage {}: critical path is the longest worker",
+                s.name
+            );
+            for f in s.worker_busy_fractions() {
+                assert!(f.is_finite() && f >= 0.0, "busy fraction out of range: {f}");
+            }
+        }
+        assert!(sharded_stages > 0, "threads={threads}: no sharded stage observed");
+        if threads == 1 {
+            assert_eq!(stats.total_morsels(), 0, "sequential runs cut no morsels");
+            assert_eq!(stats.total_steals(), 0, "sequential runs steal nothing");
+        }
+    }
+}
+
+#[test]
+fn permanently_failed_docs_are_conserved_across_shards() {
+    // Starve retries so some documents fail permanently: the per-worker
+    // failure tallies must sum to each stage's failed_docs, and every
+    // permanently failed document must be missing from the output.
+    let (_ctx, docs, stats) = conserving_pipeline(4, 0.5, 1, true);
+    assert!(
+        stats.total_failed_docs() > 0,
+        "fail_rate=0.5 with one retry must drop documents: {}",
+        stats.render()
+    );
+    assert_eq!(
+        docs.len() + stats.total_failed_docs(),
+        12,
+        "dropped + surviving documents must account for every input"
+    );
+    for s in stats.stages.iter().filter(|s| !s.workers.is_empty()) {
+        assert_eq!(
+            s.workers.iter().map(|w| w.failed).sum::<usize>(),
+            s.failed_docs,
+            "stage {}: shard failure sum",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn client_meter_and_call_cache_agree_with_stage_attribution() {
+    // The per-stage LLM numbers are carved out of the shared client meter by
+    // snapshot deltas; under the morsel executor those deltas must still add
+    // up to exactly what the client and the call cache observed globally.
+    use aryn_llm::LlmCallCache;
+    let cache = Arc::new(LlmCallCache::with_capacity(256));
+    let ctx = Context::new().with_exec(ExecConfig {
+        threads: 8,
+        seed: 42,
+        ..ExecConfig::default()
+    });
+    let corpus = Corpus::ntsb(9, 12);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(9))))
+        .with_cache(Arc::clone(&cache));
+    let run = || {
+        ctx.read_lake("ntsb")
+            .unwrap()
+            .partition("ntsb", PartitionCfg::default())
+            .extract_properties(&client, obj! { "us_state_abbrev" => "string" })
+            .embed()
+            .collect_stats()
+            .unwrap()
+    };
+    let (_docs1, stats1) = run();
+    assert_eq!(
+        stats1.total_llm_calls(),
+        client.stats().calls,
+        "stage-attributed calls must equal the client meter"
+    );
+    assert_eq!(stats1.total_llm_cache_hits(), cache.stats().hits);
+    // A second identical run is answered entirely from the call cache: the
+    // stage attribution must report the hits and the meter must not move.
+    let calls_before = client.stats().calls;
+    let (_docs2, stats2) = run();
+    assert_eq!(client.stats().calls, calls_before, "second run must be all cache hits");
+    assert_eq!(stats2.total_llm_calls(), 0);
+    assert!(stats2.total_llm_cache_hits() > 0);
+    assert_eq!(
+        stats1.total_llm_cache_hits() + stats2.total_llm_cache_hits(),
+        cache.stats().hits,
+        "per-stage cache-hit attribution must sum to the cache's own meter"
+    );
+}
+
+#[test]
 fn telemetry_totals_are_seed_deterministic() {
     // Two identical runs — and a run at a different thread count — must
     // fingerprint identically: deterministic facts live in counters, timing

@@ -118,6 +118,118 @@ fn explain_analyze_renders_the_full_story() {
 }
 
 #[test]
+fn worker_gauges_are_exact_under_parallel_execution() {
+    // S4 of the morsel-executor PR: per-worker utilization gauges used to be
+    // sampled racily; now each worker publishes an exact private shard at
+    // stage finalize, so the gauges must be internally consistent — docs sum
+    // to rows_in, the critical path is the longest worker's busy time and
+    // never exceeds the stage wall time, and steals never exceed morsels.
+    let seed = 46;
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(seed, 16);
+    ctx.register_corpus("ntsb", &corpus);
+    // Parallel ingest *and* parallel question execution.
+    ctx.set_parallelism(4, 2, StealPolicy::Ring);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+    ingest_lake(&ctx, "ntsb", "ntsb", &client, luna::ntsb_schema(), Detector::DetrSim).unwrap();
+    let luna = Luna::new(
+        ctx,
+        &["ntsb"],
+        LunaConfig {
+            sim: SimConfig::with_seed(seed),
+            exec_workers: 4,
+            exec_morsel_size: 2,
+            ..LunaConfig::default()
+        },
+    )
+    .unwrap();
+    // A question whose semantic filter cannot be pushed down to a structured
+    // one, so the engine runs a real docset pipeline (and hence
+    // morsel-parallel stage spans) while answering it.
+    let ans = luna
+        .ask("How many incidents were caused by a distracted mechanic?")
+        .unwrap();
+
+    let trace = luna.telemetry().snapshot();
+    let mut parallel_stages = 0;
+    for span in trace.spans_of_kind("stage") {
+        let workers = span.gauge("workers") as usize;
+        if workers == 0 {
+            continue; // barrier/batched stages carry no worker gauges
+        }
+        if workers > 1 {
+            parallel_stages += 1;
+        }
+        let docs_sum: u64 = (0..workers)
+            .map(|w| span.gauge(&format!("worker_{w}_docs")) as u64)
+            .sum();
+        assert_eq!(
+            docs_sum,
+            span.counter("rows_in"),
+            "stage {}: worker docs must sum to rows_in",
+            span.name
+        );
+        let wall = span.gauge("wall_ms");
+        let cp = span.gauge("critical_path_ms");
+        let max_busy = (0..workers)
+            .map(|w| span.gauge(&format!("worker_{w}_busy_ms")))
+            .fold(0.0f64, f64::max);
+        assert!(
+            (cp - max_busy).abs() < 1e-9,
+            "stage {}: critical path must be the longest worker busy time \
+             ({cp} vs {max_busy})",
+            span.name
+        );
+        // CPU busy time cannot exceed elapsed wall time (small slack for
+        // clock granularity on very short stages).
+        assert!(
+            cp <= wall + 1.0,
+            "stage {}: critical path {cp}ms exceeds wall {wall}ms",
+            span.name
+        );
+        for w in 0..workers {
+            let frac = span.gauge(&format!("worker_{w}_busy_frac"));
+            assert!(frac.is_finite() && frac >= 0.0, "stage {}: bad busy_frac {frac}", span.name);
+            if wall > 0.0 {
+                let busy = span.gauge(&format!("worker_{w}_busy_ms"));
+                assert!(
+                    (frac - busy / wall).abs() < 1e-9,
+                    "stage {}: busy_frac must be busy_ms / wall_ms",
+                    span.name
+                );
+            }
+        }
+        assert!(
+            span.gauge("steals") <= span.gauge("morsels"),
+            "stage {}: every steal is a morsel",
+            span.name
+        );
+    }
+    assert!(
+        parallel_stages > 0,
+        "expected at least one morsel-parallel stage in the trace"
+    );
+    // Luna recorded the execution mode it ran the question under.
+    let modes = trace.spans_of_kind("executor");
+    assert!(
+        modes
+            .iter()
+            .any(|s| s.name == "exec_mode" && s.gauge("workers") == 4.0),
+        "exec_mode span with the configured worker count must be present"
+    );
+    // And explain_analyze folds the morsel summary into its engine line.
+    let report = ans.explain_analyze();
+    assert!(
+        report.contains("engine stages:"),
+        "engine line missing from:\n{report}"
+    );
+    assert!(
+        report.contains("workers") && report.contains("morsels"),
+        "parallel run must render the worker/morsel summary:\n{report}"
+    );
+}
+
+#[test]
 fn ingest_records_partitioner_spans() {
     let luna = build_luna(45);
     // The shared collector kept the ingest-time spans: partitioner timings
