@@ -56,6 +56,13 @@ pub mod codes {
     pub const FILTER_REORDER: &str = "filter-reorder";
     pub const DEAD_NODE: &str = "dead-node";
     pub const REDUNDANT_EXTRACT: &str = "redundant-extract";
+    // L22–L27: cost/liveness diagnostics from [`crate::costmodel`].
+    pub const INFEASIBLE_DEADLINE: &str = "infeasible-deadline";
+    pub const TOKEN_BUDGET_OVERFLOW: &str = "token-budget-overflow";
+    pub const UNBOUNDED_CARDINALITY: &str = "unbounded-cardinality";
+    pub const DEGRADED_TERMINAL_ONLY: &str = "degraded-terminal-only";
+    pub const CACHE_BLIND_REEXEC: &str = "cache-blind-reexec";
+    pub const DEAD_FIELD: &str = "dead-field";
 
     /// All analyzer codes, for documentation checks.
     pub const ALL: &[&str] = &[
@@ -80,6 +87,12 @@ pub mod codes {
         FILTER_REORDER,
         DEAD_NODE,
         REDUNDANT_EXTRACT,
+        INFEASIBLE_DEADLINE,
+        TOKEN_BUDGET_OVERFLOW,
+        UNBOUNDED_CARDINALITY,
+        DEGRADED_TERMINAL_ONLY,
+        CACHE_BLIND_REEXEC,
+        DEAD_FIELD,
     ];
 }
 

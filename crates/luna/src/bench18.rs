@@ -106,6 +106,9 @@ pub struct Bench18Cfg {
     pub detector: aryn_partitioner::Detector,
     /// Enable Luna's shared LLM call cache (repeated-query workloads).
     pub call_cache: bool,
+    /// Run the static cost analyzer (L22–L27) over every plan, and attach
+    /// a [`crate::costmodel::CostReport`] to each answer.
+    pub analyze_cost: bool,
 }
 
 impl Default for Bench18Cfg {
@@ -117,6 +120,7 @@ impl Default for Bench18Cfg {
             sim: SimConfig::with_seed(42),
             detector: aryn_partitioner::Detector::DetrSim,
             call_cache: false,
+            analyze_cost: false,
         }
     }
 }
@@ -150,6 +154,7 @@ impl Bench18 {
             LunaConfig {
                 sim: cfg.sim,
                 call_cache: cfg.call_cache,
+                analyze_cost: cfg.analyze_cost,
                 ..LunaConfig::default()
             },
         )?;

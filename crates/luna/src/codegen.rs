@@ -11,7 +11,7 @@ pub fn to_python(plan: &Plan) -> String {
     let mut out = String::new();
     let order = plan.topo_order().unwrap_or_default();
     for id in &order {
-        let n = plan.node(*id).expect("topo ids exist");
+        let Some(n) = plan.node(*id) else { continue };
         let var = format!("out_{id}");
         let inp = |i: usize| format!("out_{}", n.inputs.get(i).copied().unwrap_or(0));
         let line = match &n.op {

@@ -236,15 +236,21 @@ impl PlanExecutor {
         let mut outputs: BTreeMap<usize, NodeOutput> = BTreeMap::new();
         let mut traces = Vec::with_capacity(order.len());
         for id in order {
-            let node = plan.node(id).expect("topo ids exist");
+            let node = plan
+                .node(id)
+                .ok_or_else(|| ArynError::InvalidPlan(format!("node out_{id} missing from plan")))?;
             let start = Instant::now();
             let before = self.meter_snapshot();
             let cache_before = self.cache_snapshot();
             let inputs: Vec<&NodeOutput> = node
                 .inputs
                 .iter()
-                .map(|i| outputs.get(i).expect("topo order"))
-                .collect();
+                .map(|i| {
+                    outputs.get(i).ok_or_else(|| {
+                        ArynError::InvalidPlan(format!("input out_{i} not executed before out_{id}"))
+                    })
+                })
+                .collect::<Result<_>>()?;
             let rows_in = inputs.iter().map(|o| o.len()).sum();
             let out = self.run_node(&node.op, &inputs, &outputs)?;
             let delta = self.meter_snapshot().since(&before);
@@ -278,7 +284,9 @@ impl PlanExecutor {
             traces.push(trace);
             outputs.insert(id, out);
         }
-        let output = outputs.remove(&plan.result).expect("result executed");
+        let output = outputs.remove(&plan.result).ok_or_else(|| {
+            ArynError::InvalidPlan(format!("result node out_{} was never executed", plan.result))
+        })?;
         let answer = render_answer(&output);
         Ok(LunaResult {
             output,

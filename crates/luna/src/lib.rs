@@ -11,6 +11,7 @@
 pub mod analyze;
 pub mod bench18;
 pub mod codegen;
+pub mod costmodel;
 pub mod exec;
 pub mod kg;
 pub mod luna;
@@ -20,6 +21,10 @@ pub mod planner;
 pub mod schema;
 
 pub use analyze::{analyze, Analysis, Analyzer, FieldType, LintRule, PlanCtx, Shape};
+pub use costmodel::{
+    dead_extracts, estimate as estimate_cost, liveness, verify as verify_budget, CostKnobs,
+    CostReport, CostRules, Interval, Live, NodeCost,
+};
 pub use exec::{eval_math, LunaResult, NodeOutput, NodeTrace, PlanExecutor};
 pub use kg::{build_earnings_graph, build_ntsb_graph, competitors_of};
 pub use luna::{earnings_schema, ingest_lake, ntsb_schema, Luna, LunaAnswer, LunaConfig};

@@ -66,6 +66,21 @@ pub struct LunaConfig {
     pub exec_morsel_size: usize,
     /// How idle executor workers acquire morsels.
     pub exec_steal: sycamore::StealPolicy,
+    /// Run the static cost analyzer ([`crate::costmodel`]) over every plan:
+    /// L22–L27 feasibility/liveness diagnostics join the semantic analysis
+    /// (warnings only), and each answer carries a [`crate::costmodel::CostReport`]
+    /// that `explain_analyze` renders as predicted-vs-actual.
+    pub analyze_cost: bool,
+    /// Promote hard budget infeasibility (a deadline the optimistic latency
+    /// bound already exceeds, a prompt that can never fit its model window)
+    /// to Error severity: the planner repair loop re-prompts once and
+    /// `Luna::plan` rejects the plan before any execution-model call.
+    /// Implies `analyze_cost`.
+    pub enforce_budget: bool,
+    /// Optimizer rewrite: splice out `llmExtract` nodes whose field the
+    /// liveness pass proves is never read downstream (with cost deltas in
+    /// the optimizer notes). Answers are unchanged — extraction is 1:1.
+    pub prune_dead_fields: bool,
 }
 
 impl Default for LunaConfig {
@@ -87,6 +102,9 @@ impl Default for LunaConfig {
             exec_workers: 1,
             exec_morsel_size: 32,
             exec_steal: sycamore::StealPolicy::Ring,
+            analyze_cost: false,
+            enforce_budget: false,
+            prune_dead_fields: false,
         }
     }
 }
@@ -100,6 +118,11 @@ pub struct Luna {
     max_replan: u32,
     /// The shared call cache, when `LunaConfig::call_cache` is on.
     call_cache: Option<Arc<LlmCallCache>>,
+    /// Static cost-analysis knobs, when `analyze_cost`/`enforce_budget` is
+    /// on — mirrors the execution wiring so the envelope matches how plans
+    /// actually run.
+    cost_knobs: Option<crate::costmodel::CostKnobs>,
+    enforce_budget: bool,
 }
 
 impl Luna {
@@ -111,6 +134,9 @@ impl Luna {
         // optimizer's cost model know so its notes reflect the engine's
         // actual packing width.
         let mut optimizer = cfg.optimizer.clone();
+        if cfg.prune_dead_fields {
+            optimizer.prune_dead_fields = true;
+        }
         if cfg.batch_max_items > 1 {
             ctx.set_batch(cfg.batch_max_items, cfg.batch_token_budget);
             optimizer.batch_max_items = cfg.batch_max_items;
@@ -221,6 +247,23 @@ impl Luna {
             };
             executor = executor.with_model(spec.name, client);
         }
+        // The static cost analyzer sees the same knobs execution runs under,
+        // so its intervals are a checked contract on the real traces.
+        let cost_knobs = (cfg.analyze_cost || cfg.enforce_budget).then(|| {
+            let retry = aryn_llm::RetryPolicy::default();
+            crate::costmodel::CostKnobs {
+                default_model: cfg.exec_model,
+                batch_max_items: cfg.batch_max_items.max(1),
+                batch_token_budget: cfg.batch_token_budget,
+                max_transient: retry.max_transient,
+                max_reask: retry.max_reask,
+                backoff_base_ms: retry.backoff_base_ms,
+                reliability: cfg.reliability.filter(|p| p.enabled()),
+                chaos: cfg.chaos.is_some(),
+                call_cache: cfg.call_cache,
+                workers: cfg.exec_workers.max(1),
+            }
+        });
         Ok(Luna {
             schemas,
             planner_client,
@@ -228,6 +271,8 @@ impl Luna {
             optimizer,
             max_replan: cfg.max_replan,
             call_cache,
+            cost_knobs,
+            enforce_budget: cfg.enforce_budget,
         })
     }
 
@@ -272,9 +317,26 @@ impl Luna {
         self.plan_with_analysis(question)
     }
 
-    /// Analyzes an already-built plan against the discovered schemas.
+    /// Analyzes an already-built plan against the discovered schemas. With
+    /// `analyze_cost`/`enforce_budget` on, the static cost analyzer's
+    /// L22–L27 feasibility and liveness diagnostics join the report.
     pub fn analyze(&self, plan: &Plan) -> Analysis {
-        crate::analyze::analyze(plan, &self.schemas)
+        match &self.cost_knobs {
+            Some(knobs) => crate::analyze::Analyzer::new()
+                .with_rule(Box::new(crate::costmodel::CostRules {
+                    knobs: knobs.clone(),
+                    enforce: self.enforce_budget,
+                }))
+                .analyze(plan, &self.schemas),
+            None => crate::analyze::analyze(plan, &self.schemas),
+        }
+    }
+
+    /// The static cost report for a plan, when cost analysis is enabled.
+    pub fn estimate_cost(&self, plan: &Plan) -> Option<crate::costmodel::CostReport> {
+        self.cost_knobs
+            .as_ref()
+            .map(|k| crate::costmodel::estimate(plan, &self.schemas, k))
     }
 
     fn plan_with_analysis(&self, question: &str) -> Result<(Plan, Analysis)> {
@@ -430,6 +492,9 @@ impl Luna {
         let mark = tel.span_count();
         let plan = self.plan(question)?;
         let optimized = self.optimize(&plan)?;
+        // The envelope is computed over the executed (optimized) plan so the
+        // per-node intervals line up with the execution traces.
+        let cost = self.estimate_cost(&optimized.plan);
         let result = self.execute(&optimized.plan)?;
         let snapshot = tel.snapshot();
         let trace = Trace {
@@ -443,7 +508,35 @@ impl Luna {
             optimizer_notes: optimized.notes,
             result,
             trace,
+            cost,
         })
+    }
+
+    /// `EXPLAIN ANALYZE` for a question, including plans the analyzer gate
+    /// rejects: instead of a bare error, the rendered diagnostics (code,
+    /// offending node path, suggestion) and the offending plan are emitted,
+    /// so a rejected plan is as explainable as an executed one.
+    pub fn explain_question(&self, question: &str) -> String {
+        let first_err = match self.ask(question) {
+            Ok(answer) => return answer.explain_analyze(),
+            Err(e) => e,
+        };
+        match self.check(question) {
+            Ok((plan, analysis)) if analysis.has_errors() => {
+                let mut out = format!(
+                    "EXPLAIN ANALYZE {question:?}\nplan rejected by analyzer ({} errors, {} warnings):\n",
+                    analysis.count(Severity::Error),
+                    analysis.count(Severity::Warning),
+                );
+                for d in &analysis.diagnostics {
+                    out.push_str(&format!("  {d}\n"));
+                }
+                out.push_str("\nRejected plan:\n");
+                out.push_str(&plan.describe());
+                out
+            }
+            _ => format!("EXPLAIN ANALYZE {question:?}\nfailed: {first_err}"),
+        }
     }
 
     /// Executes an edited plan (the human-in-the-loop path): the plan is
@@ -507,6 +600,9 @@ pub struct LunaAnswer {
     pub result: LunaResult,
     /// Telemetry spans recorded while serving this question.
     pub trace: Trace,
+    /// Static cost envelope of the executed plan (when `analyze_cost` /
+    /// `enforce_budget` is on): the actual traces must land inside it.
+    pub cost: Option<crate::costmodel::CostReport>,
 }
 
 impl LunaAnswer {
@@ -636,6 +732,18 @@ impl LunaAnswer {
                 self.result.total_fallback_calls(),
                 self.result.total_degraded_docs(),
                 self.result.total_breaker_trips()
+            ));
+        }
+        if let Some(cost) = &self.cost {
+            out.push_str(&cost.render());
+            out.push_str(&format!(
+                "predicted vs actual: calls {} actual {}  tokens {} actual {}  cost {} actual ${:.4}\n",
+                cost.llm_calls.render(),
+                self.result.total_llm_calls(),
+                cost.total_tokens().render(),
+                self.result.total_tokens(),
+                cost.cost_usd.render(),
+                self.result.total_cost(),
             ));
         }
         out

@@ -277,7 +277,7 @@ impl Plan {
     pub fn describe(&self) -> String {
         let mut out = String::new();
         for (i, id) in self.topo_order().unwrap_or_default().iter().enumerate() {
-            let n = self.node(*id).expect("topo ids exist");
+            let Some(n) = self.node(*id) else { continue };
             let desc = if n.description.is_empty() {
                 default_description(&n.op)
             } else {

@@ -42,6 +42,10 @@ pub struct OptimizerCfg {
     /// matching) so `explain_analyze` shows where a degraded answer could
     /// come from before it happens.
     pub degradation_chain: bool,
+    /// Remove `llmExtract` nodes whose field the [`crate::costmodel`]
+    /// liveness pass proves is never read downstream (the `L27 dead-field`
+    /// lint made actionable), recording before/after cost-model deltas.
+    pub prune_dead_fields: bool,
 }
 
 impl Default for OptimizerCfg {
@@ -54,6 +58,7 @@ impl Default for OptimizerCfg {
             min_accuracy: 0.85,
             batch_max_items: 1,
             degradation_chain: false,
+            prune_dead_fields: false,
         }
     }
 }
@@ -91,6 +96,10 @@ pub fn optimize(plan: &Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg) -> Res
     if cfg.model_selection {
         select_models(&mut plan, cfg, &mut notes);
         check_pass("model-selection", &plan, schemas)?;
+    }
+    if cfg.prune_dead_fields {
+        prune_dead(&mut plan, schemas, cfg, &mut notes);
+        check_pass("prune-dead-fields", &plan, schemas)?;
     }
     if cfg.batch_max_items > 1 {
         note_batching(&plan, schemas, cfg, &mut notes);
@@ -162,6 +171,65 @@ fn note_degradation(plan: &Plan, notes: &mut Vec<String>) {
             tiers.join(" -> ")
         ));
     }
+}
+
+/// Pass 5 (opt-in): splice out `llmExtract` nodes whose extracted field the
+/// backward liveness analysis ([`crate::costmodel::liveness`]) proves is
+/// never read downstream. Extraction is 1:1 on rows, so consumers are
+/// rewired to the extract's input (and `math` `{out_N}` references renamed)
+/// without changing any answer; iterates to a fixed point because removing
+/// one extract can orphan another's field. The note records the cost-model
+/// delta so `explain_analyze` shows what the rewrite bought.
+fn prune_dead(plan: &mut Plan, schemas: &[IndexSchema], cfg: &OptimizerCfg, notes: &mut Vec<String>) {
+    let knobs = crate::costmodel::CostKnobs {
+        batch_max_items: cfg.batch_max_items.max(1),
+        ..crate::costmodel::CostKnobs::default()
+    };
+    let before = crate::costmodel::estimate(plan, schemas, &knobs);
+    let mut pruned: Vec<(usize, String)> = Vec::new();
+    loop {
+        let dead = crate::costmodel::dead_extracts(plan);
+        let Some(&id) = dead.first() else { break };
+        let Some(node) = plan.node(id) else { break };
+        let Some(&input) = node.inputs.first() else { break };
+        let field = match &node.op {
+            PlanOp::LlmExtract { field, .. } => field.clone(),
+            _ => break,
+        };
+        for n in &mut plan.nodes {
+            for i in &mut n.inputs {
+                if *i == id {
+                    *i = input;
+                }
+            }
+            if let PlanOp::Math { expr } = &mut n.op {
+                *expr = expr.replace(&format!("{{out_{id}}}"), &format!("{{out_{input}}}"));
+            }
+        }
+        if plan.result == id {
+            plan.result = input;
+        }
+        plan.nodes.retain(|n| n.id != id);
+        pruned.push((id, field));
+    }
+    if pruned.is_empty() {
+        return;
+    }
+    for (id, field) in &pruned {
+        notes.push(format!(
+            "out_{id}: pruned dead llmExtract field {field:?} (liveness: never read downstream)"
+        ));
+    }
+    let after = crate::costmodel::estimate(plan, schemas, &knobs);
+    notes.push(format!(
+        "prune-dead-fields: predicted calls {} -> {}, tokens {} -> {}, cost {} -> {}",
+        before.llm_calls.render(),
+        after.llm_calls.render(),
+        before.total_tokens().render(),
+        after.total_tokens().render(),
+        before.cost_usd.render(),
+        after.cost_usd.render(),
+    ));
 }
 
 /// The analyzer gate behind each pass (replaces the old `debug_assert!`,
@@ -648,6 +716,105 @@ mod tests {
                 assert_eq!(model, "gpt-4-sim");
             }
         }
+    }
+
+    #[test]
+    fn dead_extract_is_pruned_with_cost_delta() {
+        // scan → extract("summary", never read) → rangeFilter(year) → count
+        let plan = Plan {
+            nodes: vec![
+                PlanNode {
+                    id: 0,
+                    op: PlanOp::QueryDatabase { index: "ntsb".into(), prefilter: vec![] },
+                    inputs: vec![],
+                    description: String::new(),
+                },
+                PlanNode {
+                    id: 1,
+                    op: PlanOp::LlmExtract {
+                        field: "summary".into(),
+                        ftype: "string".into(),
+                        model: String::new(),
+                    },
+                    inputs: vec![0],
+                    description: String::new(),
+                },
+                PlanNode {
+                    id: 2,
+                    op: PlanOp::RangeFilter {
+                        path: "year".into(),
+                        lo: Some(Value::Int(2019)),
+                        hi: None,
+                    },
+                    inputs: vec![1],
+                    description: String::new(),
+                },
+                PlanNode { id: 3, op: PlanOp::Count, inputs: vec![2], description: String::new() },
+            ],
+            result: 3,
+        };
+        let cfg = OptimizerCfg { prune_dead_fields: true, ..OptimizerCfg::default() };
+        let opt = optimize(&plan, &schemas(), &cfg).unwrap();
+        assert!(
+            !opt.plan.nodes.iter().any(|n| matches!(n.op, PlanOp::LlmExtract { .. })),
+            "dead extract should be spliced out: {:?}",
+            opt.plan
+        );
+        // The filter now reads the scan directly.
+        let filt = opt
+            .plan
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, PlanOp::RangeFilter { .. }))
+            .unwrap();
+        assert_eq!(filt.inputs, vec![0]);
+        assert!(opt.notes.iter().any(|n| n.contains("pruned dead llmExtract")));
+        assert!(opt.notes.iter().any(|n| n.contains("prune-dead-fields: predicted calls")));
+        opt.plan.validate().unwrap();
+        // Off by default: the extract survives.
+        let off = optimize(&plan, &schemas(), &OptimizerCfg::default()).unwrap();
+        assert!(off.plan.nodes.iter().any(|n| matches!(n.op, PlanOp::LlmExtract { .. })));
+    }
+
+    #[test]
+    fn live_extract_is_not_pruned() {
+        // The filter reads the extracted field — pruning would change the
+        // answer, so the pass must leave the plan alone.
+        let plan = Plan {
+            nodes: vec![
+                PlanNode {
+                    id: 0,
+                    op: PlanOp::QueryDatabase { index: "ntsb".into(), prefilter: vec![] },
+                    inputs: vec![],
+                    description: String::new(),
+                },
+                PlanNode {
+                    id: 1,
+                    op: PlanOp::LlmExtract {
+                        field: "cause_detail".into(),
+                        ftype: "string".into(),
+                        model: String::new(),
+                    },
+                    inputs: vec![0],
+                    description: String::new(),
+                },
+                PlanNode {
+                    id: 2,
+                    op: PlanOp::BasicFilter {
+                        path: "cause_detail".into(),
+                        value: Value::from("wind"),
+                    },
+                    inputs: vec![1],
+                    description: String::new(),
+                },
+                PlanNode { id: 3, op: PlanOp::Count, inputs: vec![2], description: String::new() },
+            ],
+            result: 3,
+        };
+        let cfg = OptimizerCfg { prune_dead_fields: true, ..OptimizerCfg::default() };
+        let opt = optimize(&plan, &schemas(), &cfg).unwrap();
+        assert!(opt.plan.nodes.iter().any(|n| matches!(n.op, PlanOp::LlmExtract { .. })));
+        assert!(opt.notes.iter().all(|n| !n.contains("pruned dead")));
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! Static cost analysis over Sycamore pipelines — the engine-side half of
+//! the abstract interpreter (the plan-side half lives in `luna::costmodel`
+//! and reuses this module's [`Interval`] lattice).
+//!
+//! Every operator gets a *transfer function* over interval abstractions:
+//! document cardinality `[lo, hi]`, LLM calls, prompt/completion tokens,
+//! simulated dollars, and virtual-clock latency. The bounds are **sound**,
+//! not tight: an executed pipeline's real [`crate::stats::ExecStats`] must
+//! land inside them under any worker count, batch width, cache state, or
+//! chaos schedule (enforced by the `cost_envelope` proptests). Upper bounds
+//! therefore carry retry headroom (every transient retry and JSON re-ask
+//! meters as a real call), degradation-ladder headroom (each fallback tier
+//! runs its own attempt ladder), and micro-batch bisection headroom (a
+//! malformed pack splits toward singletons); lower bounds drop to zero
+//! whenever a cache hit, circuit breaker, or proactive deadline skip could
+//! legally answer without a metered call.
+
+use crate::op::Op;
+use aryn_core::text::count_tokens;
+use aryn_llm::prompt::tasks;
+use aryn_llm::registry::{ModelSpec, GPT4_SIM};
+use aryn_llm::LlmClient;
+
+/// A closed interval `[lo, hi]` over a non-negative cost dimension.
+/// `hi = +∞` means the dimension is statically unbounded (e.g. cardinality
+/// through `flat_map` or `explode`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// Interval sum.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, other: Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+}
+
+/// Interval product (both operands non-negative, so endpoints multiply).
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, other: Interval) -> Interval {
+        Interval::new(self.lo * other.lo, self.hi * other.hi)
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::ZERO
+    }
+}
+
+impl Interval {
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo: lo.max(0.0),
+            hi: hi.max(lo.max(0.0)),
+        }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn exact(v: f64) -> Interval {
+        Interval::new(v, v)
+    }
+
+    /// `[lo, +∞)` — cardinality the analysis cannot bound above.
+    pub fn at_least(lo: f64) -> Interval {
+        Interval::new(lo, f64::INFINITY)
+    }
+
+    pub fn is_unbounded(&self) -> bool {
+        self.hi.is_infinite()
+    }
+
+    /// Scales both endpoints by a non-negative constant.
+    pub fn scale(self, k: f64) -> Interval {
+        Interval::new(self.lo * k, self.hi * k)
+    }
+
+    /// Least upper bound: the hull of both intervals.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Caps the interval at `n` (for `limit`/`topK`).
+    pub fn cap(self, n: f64) -> Interval {
+        Interval::new(self.lo.min(n), self.hi.min(n))
+    }
+
+    /// Membership with a small relative tolerance for float accumulation
+    /// (cost dollars are sums of many per-call products).
+    pub fn contains(&self, v: f64) -> bool {
+        let eps = 1e-6 + if self.hi.is_finite() { 1e-9 * self.hi } else { 0.0 };
+        v >= self.lo - eps && (self.hi.is_infinite() || v <= self.hi + eps)
+    }
+
+    pub fn render(&self) -> String {
+        let fmt = |v: f64| {
+            if v.is_infinite() {
+                "inf".to_string()
+            } else if v.fract() == 0.0 && v < 1e15 {
+                format!("{}", v as u64)
+            } else {
+                format!("{v:.4}")
+            }
+        };
+        format!("[{}..{}]", fmt(self.lo), fmt(self.hi))
+    }
+}
+
+/// Knobs the engine-side estimator needs beyond the ops themselves. The
+/// retry fields mirror [`aryn_llm::RetryPolicy`]; the flags widen the bounds
+/// for execution modes where calls can legally vanish (cache, reliability
+/// skips) or multiply (chaos-driven retries walking a fallback ladder).
+#[derive(Debug, Clone)]
+pub struct CostCfg {
+    /// Documents entering the pipeline.
+    pub input_docs: usize,
+    /// Pricing/window fallback for ops whose client cannot be inspected.
+    pub default_model: &'static ModelSpec,
+    pub workers: usize,
+    /// Micro-batch width (1 = off) and token budget, as in `ExecConfig`.
+    pub batch_max_items: usize,
+    pub batch_token_budget: usize,
+    pub max_transient: u32,
+    pub max_reask: u32,
+    pub backoff_base_ms: f64,
+    /// A reliability policy is installed: breakers/deadline skips can answer
+    /// with zero calls, and degradation ladders multiply the call ceiling.
+    pub reliability: bool,
+    /// A chaos schedule is installed (faults consume retry budget).
+    pub chaos: bool,
+    /// A call cache is attached somewhere (warm calls never meter).
+    pub cache: bool,
+}
+
+impl Default for CostCfg {
+    fn default() -> Self {
+        CostCfg {
+            input_docs: 0,
+            default_model: &GPT4_SIM,
+            workers: 1,
+            batch_max_items: 1,
+            batch_token_budget: 2048,
+            max_transient: 4,
+            max_reask: 2,
+            backoff_base_ms: 100.0,
+            reliability: false,
+            chaos: false,
+            cache: false,
+        }
+    }
+}
+
+impl CostCfg {
+    /// Worst-case metered calls per logical item: the primary tier's full
+    /// attempt ladder, repeated by every degradation tier below it, doubled
+    /// when micro-batch bisection can re-submit items in shrinking packs.
+    fn call_ceiling(&self, ladder_tiers: usize, batchable: bool) -> f64 {
+        let attempts = 1.0 + self.max_transient as f64 + self.max_reask as f64;
+        let tiers = ladder_tiers.max(1) as f64;
+        let bisect = if batchable && self.batch_max_items > 1 { 2.0 } else { 1.0 };
+        attempts * tiers * bisect
+    }
+
+    /// Whether at least one metered call per item is guaranteed: nothing is
+    /// installed that can answer from a cache, a breaker, or a skip.
+    fn calls_guaranteed(&self) -> bool {
+        !self.cache && !self.reliability && !self.chaos
+    }
+
+    /// Physical calls needed for `n` guaranteed items: packs hold at most
+    /// `batch_max_items` (token budgets only shrink packs further).
+    fn min_calls(&self, items: f64, batchable: bool) -> f64 {
+        if !self.calls_guaranteed() || items <= 0.0 {
+            return 0.0;
+        }
+        let pack = if batchable { self.batch_max_items.max(1) as f64 } else { 1.0 };
+        (items / pack).ceil()
+    }
+
+    /// Worst-case retry backoff charged per item (exponential, ×1.5 jitter
+    /// headroom), summed over the attempt ladder.
+    fn backoff_ceiling(&self) -> f64 {
+        let attempts = self.max_transient + self.max_reask;
+        self.backoff_base_ms * 1.5 * ((1u64 << attempts.min(30)) as f64 - 1.0)
+    }
+}
+
+/// Per-operator cost abstraction.
+#[derive(Debug, Clone)]
+pub struct OpCost {
+    pub name: String,
+    /// Documents flowing *out* of this operator.
+    pub docs: Interval,
+    pub llm_calls: Interval,
+    pub input_tokens: Interval,
+    pub output_tokens: Interval,
+    pub cost_usd: Interval,
+    /// Total virtual-clock latency of this operator's calls (the quantity a
+    /// per-query deadline budget observes — workers share one budget).
+    pub latency_ms: Interval,
+}
+
+impl OpCost {
+    fn pure(name: String, docs: Interval) -> OpCost {
+        OpCost {
+            name,
+            docs,
+            llm_calls: Interval::ZERO,
+            input_tokens: Interval::ZERO,
+            output_tokens: Interval::ZERO,
+            cost_usd: Interval::ZERO,
+            latency_ms: Interval::ZERO,
+        }
+    }
+}
+
+/// The pipeline-level report: per-op rows plus totals and the workers-aware
+/// critical-path (makespan) interval.
+#[derive(Debug, Clone)]
+pub struct PipelineCost {
+    pub ops: Vec<OpCost>,
+    pub docs_out: Interval,
+    pub llm_calls: Interval,
+    pub input_tokens: Interval,
+    pub output_tokens: Interval,
+    pub cost_usd: Interval,
+    pub latency_ms: Interval,
+    /// Makespan bound: per-doc work divides across workers at best, runs
+    /// sequentially at worst.
+    pub critical_path_ms: Interval,
+}
+
+impl PipelineCost {
+    pub fn render(&self) -> String {
+        let mut out = String::from("op                docs            llm_calls       cost_usd\n");
+        for o in &self.ops {
+            out.push_str(&format!(
+                "{:<17} {:<15} {:<15} {}\n",
+                o.name,
+                o.docs.render(),
+                o.llm_calls.render(),
+                o.cost_usd.render()
+            ));
+        }
+        out.push_str(&format!(
+            "totals: calls {}  tokens {}  cost {}  latency_ms {}\n",
+            self.llm_calls.render(),
+            (self.input_tokens + self.output_tokens).render(),
+            self.cost_usd.render(),
+            self.latency_ms.render()
+        ));
+        out
+    }
+}
+
+/// Pricing/latency facts for one op's client, walking its degradation
+/// ladder: the worst (priciest/slowest) and best tier bound each dimension.
+struct ClientFacts {
+    tiers: usize,
+    window: f64,
+    usd_in_max: f64,
+    usd_out_max: f64,
+    base_ms_min: f64,
+    base_ms_max: f64,
+    tps_min: f64,
+}
+
+fn client_facts(client: &LlmClient, cfg: &CostCfg) -> ClientFacts {
+    let specs: Vec<&'static ModelSpec> = client
+        .fallback_chain()
+        .iter()
+        .filter_map(|c| aryn_llm::registry::spec_by_name(c.model_name()))
+        .collect();
+    let specs: Vec<&'static ModelSpec> =
+        if specs.is_empty() { vec![cfg.default_model] } else { specs };
+    ClientFacts {
+        tiers: specs.len(),
+        window: specs.iter().map(|s| s.context_window as f64).fold(0.0, f64::max),
+        usd_in_max: specs.iter().map(|s| s.usd_per_1k_input).fold(0.0, f64::max),
+        usd_out_max: specs.iter().map(|s| s.usd_per_1k_output).fold(0.0, f64::max),
+        base_ms_min: specs.iter().map(|s| s.base_latency_ms).fold(f64::INFINITY, f64::min),
+        base_ms_max: specs.iter().map(|s| s.base_latency_ms).fold(0.0, f64::max),
+        tps_min: specs.iter().map(|s| s.tokens_per_sec).fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Cost abstraction for one per-item LLM transform: `items` logical prompts,
+/// each answered with at most `max_output` completion tokens and at least
+/// `envelope` prompt tokens (the rendered prompt with an empty context).
+#[allow(clippy::too_many_arguments)]
+fn llm_cost(
+    name: String,
+    docs_out: Interval,
+    items: Interval,
+    envelope: f64,
+    max_output: f64,
+    batchable: bool,
+    facts: &ClientFacts,
+    cfg: &CostCfg,
+) -> OpCost {
+    let calls = Interval::new(
+        cfg.min_calls(items.lo, batchable),
+        items.hi * cfg.call_ceiling(facts.tiers, batchable),
+    );
+    // Minimum prompt: the envelope itself. Packed prompts use a different
+    // template, so only the pack count survives as a lower bound there.
+    let env_lo = if batchable && cfg.batch_max_items > 1 { 1.0 } else { envelope };
+    let input_tokens = Interval::new(calls.lo * env_lo, calls.hi * facts.window);
+    // Per item: `max_output` (+8 packed headroom); per call: +16 pack
+    // overhead. `calls.hi` dominates both counts, so it bounds the sum.
+    let output_tokens = Interval::new(0.0, calls.hi * (max_output + 24.0));
+    let cost_usd = Interval::new(
+        input_tokens.lo / 1000.0 * cfg.default_model.usd_per_1k_input.min(facts.usd_in_max),
+        input_tokens.hi / 1000.0 * facts.usd_in_max
+            + output_tokens.hi / 1000.0 * facts.usd_out_max,
+    );
+    // Mock latency: base + (0.2·in + out)/tps · 1000, plus retry backoff
+    // (charged to the deadline budget, never slept).
+    let latency_ms = Interval::new(
+        calls.lo * facts.base_ms_min,
+        calls.hi * facts.base_ms_max
+            + (input_tokens.hi * 0.2 + output_tokens.hi) / facts.tps_min * 1000.0
+            + items.hi * cfg.backoff_ceiling(),
+    );
+    OpCost {
+        name,
+        docs: docs_out,
+        llm_calls: calls,
+        input_tokens,
+        output_tokens,
+        cost_usd,
+        latency_ms,
+    }
+}
+
+/// Abstractly interprets a pipeline: one [`OpCost`] per operator, document
+/// cardinality threaded through the transfer functions.
+pub fn estimate(ops: &[Op], cfg: &CostCfg) -> PipelineCost {
+    let mut docs = Interval::exact(cfg.input_docs as f64);
+    let mut rows = Vec::with_capacity(ops.len());
+    for op in ops {
+        let name = op.name();
+        let oc = match op {
+            Op::Map { .. } | Op::Embed | Op::SortBy { .. } | Op::Materialize { .. } => {
+                OpCost::pure(name, docs)
+            }
+            Op::Partition { cfg: pcfg, .. } => {
+                if pcfg.summarize_images.is_some() {
+                    // Image summarization calls are element-count-shaped;
+                    // statically unbounded.
+                    let mut oc = OpCost::pure(name, docs);
+                    oc.llm_calls = Interval::at_least(0.0);
+                    oc.input_tokens = Interval::at_least(0.0);
+                    oc.output_tokens = Interval::at_least(0.0);
+                    oc.cost_usd = Interval::at_least(0.0);
+                    oc.latency_ms = Interval::at_least(0.0);
+                    oc
+                } else {
+                    OpCost::pure(name, docs)
+                }
+            }
+            Op::Filter { .. } => OpCost::pure(name, Interval::new(0.0, docs.hi)),
+            Op::FlatMap { .. } | Op::Explode => {
+                OpCost::pure(name, if docs.hi == 0.0 { Interval::ZERO } else { Interval::at_least(0.0) })
+            }
+            Op::ReduceByKey { .. } => OpCost::pure(
+                name,
+                Interval::new(if docs.lo > 0.0 { 1.0 } else { 0.0 }, docs.hi),
+            ),
+            Op::Limit(n) => OpCost::pure(name, docs.cap(*n as f64)),
+            Op::LlmQuery { client, .. } => {
+                llm_cost(name, docs, docs, 1.0, 256.0, false, &client_facts(client, cfg), cfg)
+            }
+            Op::ExtractProperties { client, schema, .. } => {
+                let env = count_tokens(&tasks::extract(schema, "")) as f64;
+                llm_cost(name, docs, docs, env, 512.0, true, &client_facts(client, cfg), cfg)
+            }
+            Op::LlmFilter { client, predicate, .. } => {
+                let env = count_tokens(&tasks::filter(predicate, "")) as f64;
+                let out = Interval::new(0.0, docs.hi);
+                llm_cost(name, out, docs, env, 64.0, true, &client_facts(client, cfg), cfg)
+            }
+            Op::LlmClassify { client, question, labels, .. } => {
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                let env = count_tokens(&tasks::classify(question, &refs, "")) as f64;
+                llm_cost(name, docs, docs, env, 64.0, false, &client_facts(client, cfg), cfg)
+            }
+            Op::Summarize { client, instructions, .. } => {
+                let env = count_tokens(&tasks::summarize(instructions, "")) as f64;
+                llm_cost(name, docs, docs, env, 256.0, false, &client_facts(client, cfg), cfg)
+            }
+            Op::SummarizeSections { client } => {
+                // Calls per document = its section count: unbounded above.
+                let items = if docs.hi == 0.0 { Interval::ZERO } else { Interval::at_least(0.0) };
+                llm_cost(name, docs, items, 1.0, 128.0, false, &client_facts(client, cfg), cfg)
+            }
+            Op::SummarizeAll { client, instructions } => {
+                // Hierarchical reduce: ≤ 2n+1 calls for n documents (leaf
+                // batches plus the reduction tree), at least one when any
+                // document flows in.
+                let env = count_tokens(&tasks::summarize(instructions, "")) as f64;
+                let items = Interval::new(
+                    if docs.lo > 0.0 { 1.0 } else { 0.0 },
+                    if docs.hi == 0.0 { 0.0 } else { 2.0 * docs.hi + 1.0 },
+                );
+                llm_cost(
+                    name,
+                    Interval::exact(1.0),
+                    items,
+                    env,
+                    256.0,
+                    false,
+                    &client_facts(client, cfg),
+                    cfg,
+                )
+            }
+        };
+        docs = oc.docs;
+        rows.push(oc);
+    }
+    let fold = |f: fn(&OpCost) -> Interval| {
+        rows.iter().map(f).fold(Interval::ZERO, |a, b| a + b)
+    };
+    let llm_calls = fold(|o| o.llm_calls);
+    let input_tokens = fold(|o| o.input_tokens);
+    let output_tokens = fold(|o| o.output_tokens);
+    let cost_usd = fold(|o| o.cost_usd);
+    let latency_ms = fold(|o| o.latency_ms);
+    let critical_path_ms =
+        Interval::new(latency_ms.lo / cfg.workers.max(1) as f64, latency_ms.hi);
+    PipelineCost {
+        ops: rows,
+        docs_out: docs,
+        llm_calls,
+        input_tokens,
+        output_tokens,
+        cost_usd,
+        latency_ms,
+        critical_path_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aryn_llm::{MockLlm, SimConfig};
+    use std::sync::Arc;
+
+    fn client() -> LlmClient {
+        LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::perfect(1))))
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let a = Interval::new(1.0, 3.0);
+        let b = Interval::new(2.0, 5.0);
+        assert_eq!(a + b, Interval::new(3.0, 8.0));
+        assert_eq!(a * b, Interval::new(2.0, 15.0));
+        assert_eq!(a.join(b), Interval::new(1.0, 5.0));
+        assert_eq!(a.cap(2.0), Interval::new(1.0, 2.0));
+        assert!(a.contains(1.0) && a.contains(3.0) && !a.contains(3.5));
+        assert!(Interval::at_least(2.0).contains(1e12));
+        assert!(!Interval::at_least(2.0).contains(1.0));
+        // Degenerate constructor input is clamped into a valid interval.
+        assert_eq!(Interval::new(5.0, 1.0), Interval::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn pure_pipeline_is_exact_and_free() {
+        let ops = vec![
+            Op::Map { name: "id".into(), f: Arc::new(|d| d) },
+            Op::Limit(3),
+        ];
+        let cfg = CostCfg { input_docs: 10, ..CostCfg::default() };
+        let est = estimate(&ops, &cfg);
+        assert_eq!(est.docs_out, Interval::exact(3.0));
+        assert_eq!(est.llm_calls, Interval::ZERO);
+        assert_eq!(est.cost_usd, Interval::ZERO);
+    }
+
+    #[test]
+    fn llm_filter_bounds_cover_the_per_doc_path() {
+        let ops = vec![Op::LlmFilter {
+            client: client(),
+            predicate: "mentions fatal injuries".into(),
+            selector: crate::ElementSelector::All,
+        }];
+        let cfg = CostCfg { input_docs: 8, ..CostCfg::default() };
+        let est = estimate(&ops, &cfg);
+        // Guaranteed path: exactly one call per doc sits inside the bounds.
+        assert!(est.llm_calls.contains(8.0), "got {}", est.llm_calls.render());
+        assert_eq!(est.llm_calls.lo, 8.0);
+        assert!(est.llm_calls.hi >= 8.0);
+        assert!(est.docs_out.contains(0.0) && est.docs_out.contains(8.0));
+        // Cache on: zero calls becomes legal.
+        let cached = estimate(&ops, &CostCfg { input_docs: 8, cache: true, ..CostCfg::default() });
+        assert_eq!(cached.llm_calls.lo, 0.0);
+    }
+
+    #[test]
+    fn batching_lowers_the_call_floor_and_keeps_the_ceiling_sound() {
+        let ops = vec![Op::ExtractProperties {
+            client: client(),
+            schema: aryn_core::obj! { "year" => "int" },
+            selector: crate::ElementSelector::All,
+        }];
+        let base = CostCfg { input_docs: 12, ..CostCfg::default() };
+        let batched = CostCfg { batch_max_items: 4, ..base.clone() };
+        let e1 = estimate(&ops, &base);
+        let e4 = estimate(&ops, &batched);
+        assert_eq!(e1.llm_calls.lo, 12.0);
+        assert_eq!(e4.llm_calls.lo, 3.0); // ceil(12/4)
+        assert!(e4.llm_calls.hi >= e1.llm_calls.hi); // bisection headroom
+    }
+
+    #[test]
+    fn unbounded_cardinality_propagates() {
+        let ops = vec![
+            Op::Explode,
+            Op::LlmFilter {
+                client: client(),
+                predicate: "p".into(),
+                selector: crate::ElementSelector::All,
+            },
+        ];
+        let est = estimate(&ops, &CostCfg { input_docs: 2, ..CostCfg::default() });
+        assert!(est.docs_out.is_unbounded());
+        assert!(est.llm_calls.is_unbounded());
+        assert!(est.cost_usd.is_unbounded());
+    }
+
+    #[test]
+    fn critical_path_divides_by_workers() {
+        let ops = vec![Op::LlmQuery {
+            client: client(),
+            template: "what is {text}?".into(),
+            output_path: "a".into(),
+            selector: crate::ElementSelector::All,
+        }];
+        let est1 = estimate(&ops, &CostCfg { input_docs: 8, ..CostCfg::default() });
+        let est8 = estimate(&ops, &CostCfg { input_docs: 8, workers: 8, ..CostCfg::default() });
+        assert!(est8.critical_path_ms.lo < est1.critical_path_ms.lo);
+        assert_eq!(est8.critical_path_ms.hi, est1.critical_path_ms.hi);
+    }
+}

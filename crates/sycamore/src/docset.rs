@@ -9,7 +9,7 @@
 use crate::context::Context;
 use crate::op::{Agg, ElementSelector, Op, PartitionCfg};
 use crate::stats::ExecStats;
-use aryn_core::{Document, Result, Value};
+use aryn_core::{ArynError, Document, Result, Value};
 use aryn_index::DocStore;
 use aryn_llm::LlmClient;
 use std::path::PathBuf;
@@ -59,6 +59,28 @@ impl DocSet {
     /// dead sorts, and ops after a terminal sink.
     pub fn check(&self) -> Vec<aryn_core::Diagnostic> {
         crate::lint::check_ops(&self.ops)
+    }
+
+    /// Statically estimates this pipeline's cost envelope ([`crate::cost`])
+    /// for `input_docs` entering documents. Batch width, worker count, and
+    /// the reliability/chaos flags are read from the live context so the
+    /// bounds match how the pipeline would actually execute.
+    pub fn estimate_cost(&self, input_docs: usize) -> crate::cost::PipelineCost {
+        let exec = self.ctx.exec_config();
+        let cfg = crate::cost::CostCfg {
+            input_docs,
+            workers: exec.threads,
+            batch_max_items: exec.batch_max_items,
+            batch_token_budget: exec.batch_token_budget,
+            reliability: self.ctx.reliability().is_some(),
+            chaos: self.ctx.chaos().is_some(),
+            cache: self
+                .ops
+                .iter()
+                .any(|op| op.clients().iter().any(|t| t.cache().is_some())),
+            ..crate::cost::CostCfg::default()
+        };
+        crate::cost::estimate(&self.ops, &cfg)
     }
 
     fn push(mut self, op: Op) -> DocSet {
@@ -337,7 +359,9 @@ impl DocSet {
         }
         let embedder = self.ctx.embedder();
         let mut vx = self.ctx.inner.vector.write();
-        let ix = vx.get_mut(name).expect("just created");
+        let ix = vx
+            .get_mut(name)
+            .ok_or_else(|| ArynError::Index(format!("vector index {name:?} vanished mid-write")))?;
         for d in &docs {
             let v = match &d.embedding {
                 Some(v) => v.clone(),

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod context;
+pub mod cost;
 pub mod docset;
 pub mod exec;
 pub mod lint;
@@ -29,6 +30,7 @@ pub mod stats;
 pub mod transforms;
 
 pub use context::{Context, ExecConfig, StealPolicy};
+pub use cost::{CostCfg, Interval, OpCost, PipelineCost};
 pub use docset::{DocSet, Source};
 pub use op::{Agg, ElementSelector, Op, PartitionCfg};
 pub use stats::{ExecStats, StageStats, WorkerStats};

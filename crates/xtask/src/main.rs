@@ -28,6 +28,12 @@
 //! 5. **Diagnostic-code doc check.** Every analyzer code
 //!    ([`luna::analyze::codes::ALL`]) and pipeline lint code
 //!    ([`sycamore::lint::codes::ALL`]) must be documented in `DESIGN.md`.
+//!
+//! `lint --plans` is the plan-feasibility pass: it builds the bench18
+//! fixture at smoke corpus sizes, plans every question with the static cost
+//! analyzer enabled (DESIGN.md §5h), and fails on any Error-severity
+//! diagnostic (L22/L23 hard infeasibility, or any semantic error) that
+//! survives the repair re-prompt.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -46,15 +52,22 @@ fn repo_root() -> PathBuf {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match lint(&repo_root()) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("{msg}");
-                ExitCode::FAILURE
+        Some("lint") => {
+            let run = if args.iter().any(|a| a == "--plans") {
+                plan_lint()
+            } else {
+                lint(&repo_root())
+            };
+            match run {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--plans]");
             ExitCode::FAILURE
         }
     }
@@ -355,6 +368,59 @@ fn sleep_retry_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), Strin
         }
     }
     Ok(())
+}
+
+// --- Bench18 plan lint (`cargo xtask lint --plans`) ---------------------------
+
+/// Runs the planner + static cost analyzer (DESIGN.md §5h) over every
+/// bench18 question at smoke corpus sizes and fails on any Error-severity
+/// diagnostic that survives the repair re-prompt. Warnings are printed but
+/// do not fail the build: they flag soft budget pressure, not broken plans.
+fn plan_lint() -> Result<(), String> {
+    let fixture = luna::bench18::Bench18::build(luna::bench18::Bench18Cfg {
+        n_ntsb: 14,
+        n_earnings: 12,
+        analyze_cost: true,
+        ..Default::default()
+    })
+    .map_err(|e| format!("xtask lint --plans: bench18 fixture failed to build: {e}"))?;
+    let mut failures = Vec::new();
+    let mut warnings = 0usize;
+    for q in &fixture.questions {
+        match fixture.luna.check(&q.question) {
+            Ok((plan, analysis)) => {
+                for d in analysis.errors() {
+                    failures.push(format!("plan {:?}: {d}", q.question));
+                }
+                warnings += analysis.diagnostics.len() - analysis.errors().len();
+                let verdict = if analysis.has_errors() { "INFEASIBLE" } else { "feasible" };
+                match fixture.luna.estimate_cost(&plan) {
+                    Some(report) => println!(
+                        "xtask lint --plans: {verdict:<10} calls {} tokens {} cost {}  {}",
+                        report.llm_calls.render(),
+                        report.total_tokens().render(),
+                        report.cost_usd.render(),
+                        q.question
+                    ),
+                    None => println!("xtask lint --plans: {verdict:<10} (no cost report)  {}", q.question),
+                }
+            }
+            Err(e) => failures.push(format!("plan {:?}: planning failed: {e}", q.question)),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "xtask lint --plans: ok — {} plans analyzed, 0 hard diagnostics, {warnings} warning(s)",
+            fixture.questions.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "xtask lint --plans: {} failure(s)\n{}",
+            failures.len(),
+            failures.join("\n")
+        ))
+    }
 }
 
 // --- Diagnostic-code doc check ----------------------------------------------
