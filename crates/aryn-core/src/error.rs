@@ -30,6 +30,16 @@ pub enum ArynError {
     /// A model endpoint's circuit breaker is open: recent calls failed at a
     /// rate above threshold, so calls fail fast instead of burning retries.
     CircuitOpen { model: String },
+    /// A per-query token or dollar budget ran out; `resource` names which
+    /// (`"tokens"` or `"cost_usd"`).
+    BudgetExhausted {
+        resource: &'static str,
+        spent: f64,
+        budget: f64,
+    },
+    /// The serving layer's admission queue is full: the request was rejected
+    /// before any planning or model work was done.
+    Overloaded { active: usize, queued: usize },
     /// Execution-time failure in a Sycamore pipeline.
     Exec(String),
     /// An index operation failed (unknown index, dimension mismatch, ...).
@@ -60,6 +70,14 @@ impl fmt::Display for ArynError {
             ArynError::CircuitOpen { model } => {
                 write!(f, "circuit open: {model} is failing fast")
             }
+            ArynError::BudgetExhausted { resource, spent, budget } => write!(
+                f,
+                "budget exhausted: {spent:.2} {resource} spent of {budget:.2} budget"
+            ),
+            ArynError::Overloaded { active, queued } => write!(
+                f,
+                "overloaded: admission queue full ({active} active, {queued} queued)"
+            ),
             ArynError::Plan(msg) => write!(f, "planning error: {msg}"),
             ArynError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             ArynError::Exec(msg) => write!(f, "execution error: {msg}"),

@@ -133,18 +133,18 @@ impl Value {
             if !matches!(cur, Value::Object(_)) {
                 *cur = Value::object();
             }
-            cur = cur
-                .as_object_mut()
-                .expect("just ensured object")
-                .entry((*seg).to_string())
-                .or_insert_with(Value::object);
+            let Value::Object(map) = cur else {
+                return None; // unreachable: cur was just made an object
+            };
+            cur = map.entry((*seg).to_string()).or_insert_with(Value::object);
         }
         if !matches!(cur, Value::Object(_)) {
             *cur = Value::object();
         }
-        cur.as_object_mut()
-            .expect("just ensured object")
-            .insert(segs[segs.len() - 1].to_string(), value)
+        let Value::Object(map) = cur else {
+            return None; // unreachable: cur was just made an object
+        };
+        map.insert(segs[segs.len() - 1].to_string(), value)
     }
 
     /// A short name for the value's JSON type, for error messages and schemas.
@@ -184,9 +184,11 @@ impl Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (a @ (Int(_) | Float(_)), b @ (Int(_) | Float(_))) => {
+                // `as_float` is total on `Int`/`Float`; NaN would only sort
+                // via the NaN arm below, which is already the desired order.
                 let (x, y) = (
-                    a.as_float().expect("numeric"),
-                    b.as_float().expect("numeric"),
+                    a.as_float().unwrap_or(f64::NAN),
+                    b.as_float().unwrap_or(f64::NAN),
                 );
                 x.partial_cmp(&y).unwrap_or_else(|| {
                     // NaN handling: NaN sorts after any non-NaN number.

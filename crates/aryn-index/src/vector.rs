@@ -307,8 +307,9 @@ impl VectorIndex for HnswIndex {
                 self.link(layer, id, nb);
             }
         }
-        // Track the entry point at the highest level.
-        if level >= self.node_level[self.entry.unwrap() as usize] {
+        // Track the entry point at the highest level (`entry` is the
+        // pre-insert entry point bound above).
+        if level >= self.node_level[entry as usize] {
             self.entry = Some(id);
         }
         Ok(())

@@ -124,7 +124,13 @@ pub fn run_batched(
     for (i, ctx) in contexts.iter().enumerate() {
         let single = build_prompt(kind, params, ctx);
         let probe = cache.as_ref().and_then(|c| {
-            c.peek(CacheKey::for_call(client.model_name(), &single, max_output, 0.0))
+            c.peek(CacheKey::for_call_in(
+                client.cache_namespace(),
+                client.model_name(),
+                &single,
+                max_output,
+                0.0,
+            ))
         });
         if let Some(out) = probe {
             // The peek already counted the hit; resolve the value via the
@@ -295,7 +301,13 @@ fn memoize_item(
     share: Usage,
 ) {
     let Some(cache) = client.cache() else { return };
-    let key = CacheKey::for_call(client.model_name(), single_prompt, max_output, 0.0);
+    let key = CacheKey::for_call_in(
+        client.cache_namespace(),
+        client.model_name(),
+        single_prompt,
+        max_output,
+        0.0,
+    );
     cache.insert(key, json::to_string_pretty(value), share);
 }
 

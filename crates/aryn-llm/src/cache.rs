@@ -54,6 +54,33 @@ impl CacheKey {
             ],
         ))
     }
+
+    /// [`for_call`](Self::for_call) under an optional namespace. `None` is
+    /// byte-identical to `for_call` (the shared namespace); `Some(ns)`
+    /// derives a disjoint key space, so tenants configured for cache
+    /// isolation never observe (or time) each other's entries even when
+    /// they share one [`LlmCallCache`].
+    pub fn for_call_in(
+        namespace: Option<&str>,
+        model: &str,
+        prompt: &str,
+        max_output: usize,
+        temperature: f32,
+    ) -> CacheKey {
+        match namespace {
+            None => CacheKey::for_call(model, prompt, max_output, temperature),
+            Some(ns) => CacheKey(stable_hash(
+                0x7E4A_47CA,
+                &[
+                    ns,
+                    model,
+                    prompt,
+                    &max_output.to_string(),
+                    &temperature.to_bits().to_string(),
+                ],
+            )),
+        }
+    }
 }
 
 /// Aggregate cache counters. `hits` includes single-flight joins (a join

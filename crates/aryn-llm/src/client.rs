@@ -8,8 +8,9 @@
 //! repair fails, and records every call in a shared [`UsageMeter`].
 
 use crate::cache::{CacheKey, CacheStats, LlmCallCache};
+use crate::fairshare::FairShare;
 use crate::model::{LanguageModel, LlmRequest, Usage};
-use crate::reliability::ReliabilityState;
+use crate::reliability::{ReliabilitySlot, ReliabilityState};
 use aryn_core::text::{count_tokens, truncate_tokens};
 use aryn_core::{json, ArynError, Result, Value};
 use parking_lot::Mutex;
@@ -155,7 +156,16 @@ pub struct LlmClient {
     meter: Arc<UsageMeter>,
     policy: RetryPolicy,
     cache: Option<Arc<LlmCallCache>>,
-    reliability: Option<Arc<ReliabilityState>>,
+    /// Cache-key namespace: `Some` isolates this client's cache entries from
+    /// other namespaces sharing the same [`LlmCallCache`] (per-tenant cache
+    /// policy in the serving layer); `None` shares the global namespace.
+    cache_namespace: Option<Arc<str>>,
+    /// Reliability indirection: the slot lets a session repoint every client
+    /// in its ladder at a fresh per-query budget fork without rebuilding
+    /// clients (see [`ReliabilitySlot`]).
+    reliability: Option<Arc<ReliabilitySlot>>,
+    /// Fair-share call-slot gate plus the tenant id to acquire under.
+    slots: Option<(Arc<FairShare>, Arc<str>)>,
     fallback: Option<Box<LlmClient>>,
 }
 
@@ -166,7 +176,9 @@ impl LlmClient {
             meter: UsageMeter::new(),
             policy: RetryPolicy::default(),
             cache: None,
+            cache_namespace: None,
             reliability: None,
+            slots: None,
             fallback: None,
         }
     }
@@ -196,8 +208,37 @@ impl LlmClient {
     /// breakers; see [`crate::reliability`]). With the default (inert)
     /// policy this is a no-op: call counts and usage accounting are
     /// byte-identical to a client with no reliability state.
+    ///
+    /// The state is wrapped in a private [`ReliabilitySlot`]; clients that
+    /// should all repoint together at a per-query fork share one slot via
+    /// [`with_reliability_slot`](Self::with_reliability_slot) instead.
     pub fn with_reliability(mut self, state: Arc<ReliabilityState>) -> LlmClient {
-        self.reliability = Some(state);
+        self.reliability = Some(ReliabilitySlot::new(state));
+        self
+    }
+
+    /// Shares a swappable reliability slot: installing a fresh
+    /// [`ReliabilityState::fork`] into the slot retargets every client
+    /// holding it (a session's whole degradation ladder) at the new budget.
+    pub fn with_reliability_slot(mut self, slot: Arc<ReliabilitySlot>) -> LlmClient {
+        self.reliability = Some(slot);
+        self
+    }
+
+    /// Namespaces this client's cache keys (see [`CacheKey::for_call_in`]):
+    /// clients in different namespaces never share entries even over one
+    /// [`LlmCallCache`]. The serving layer uses tenant ids here when a
+    /// tenant opts out of the shared cache.
+    pub fn with_cache_namespace(mut self, namespace: &str) -> LlmClient {
+        self.cache_namespace = Some(Arc::from(namespace));
+        self
+    }
+
+    /// Gates real model calls through a fair-share slot scheduler under
+    /// `tenant`'s identity (see [`crate::fairshare`]). Cache hits bypass the
+    /// gate — only calls that would occupy a model endpoint queue for slots.
+    pub fn with_slots(mut self, gate: Arc<FairShare>, tenant: &str) -> LlmClient {
+        self.slots = Some((gate, Arc::from(tenant)));
         self
     }
 
@@ -221,8 +262,20 @@ impl LlmClient {
         self
     }
 
+    /// The reliability state currently installed (through the slot, so a
+    /// per-query fork installed by the session is what callers see).
     pub fn reliability(&self) -> Option<Arc<ReliabilityState>> {
+        self.reliability.as_ref().map(|s| s.current())
+    }
+
+    /// The swappable slot itself, for sessions that install per-query forks.
+    pub fn reliability_slot(&self) -> Option<Arc<ReliabilitySlot>> {
         self.reliability.clone()
+    }
+
+    /// The cache-key namespace, if any.
+    pub fn cache_namespace(&self) -> Option<&str> {
+        self.cache_namespace.as_deref()
     }
 
     pub fn fallback(&self) -> Option<&LlmClient> {
@@ -340,7 +393,13 @@ impl LlmClient {
         let cacheable = temperature == 0.0 && attempt_base == 0;
         if cacheable {
             if let Some(cache) = &self.cache {
-                let key = CacheKey::for_call(self.model.name(), prompt, max_output, temperature);
+                let key = CacheKey::for_call_in(
+                    self.cache_namespace.as_deref(),
+                    self.model.name(),
+                    prompt,
+                    max_output,
+                    temperature,
+                );
                 let out = cache.get_or_compute(key, || {
                     self.call_model(prompt, max_output, temperature, attempt_base)
                 })?;
@@ -368,7 +427,14 @@ impl LlmClient {
     ) -> Result<(String, Usage)> {
         // Reliability gates only engage with an explicit, non-inert policy;
         // otherwise this loop is byte-identical to the ungated client.
-        let rel = self.reliability.as_deref().filter(|r| r.policy().enabled());
+        // Resolved through the slot once per logical call: a fork installed
+        // mid-call does not retroactively re-budget in-flight attempts.
+        let rel = self
+            .reliability
+            .as_ref()
+            .map(|s| s.current())
+            .filter(|r| r.policy().enabled());
+        let rel = rel.as_deref();
         let breaker = rel.and_then(|r| r.breaker(self.model.name()));
         let mut last_err = None;
         // A policy of 0 transient retries still means one attempt: the model
@@ -388,10 +454,28 @@ impl LlmClient {
                 .with_max_tokens(max_output)
                 .with_temperature(temperature)
                 .with_attempt(attempt_base + attempt);
-            match self.model.generate(&req) {
+            // Fair-share gating: hold a call slot for the duration of the
+            // model call so one tenant's storm queues here instead of
+            // monopolizing the endpoint pool. Queue waits are real thread
+            // waits, not budget charges — a queued query's deadline clock
+            // only ticks for work done on its behalf, which keeps its
+            // accounting bit-identical to an uncontended run.
+            let slot = self
+                .slots
+                .as_ref()
+                .map(|(gate, tenant)| gate.acquire(tenant));
+            let generated = self.model.generate(&req);
+            drop(slot);
+            match generated {
                 Ok(resp) => {
                     let model_latency_ms = resp.usage.latency_ms;
                     if let Some(r) = rel {
+                        // Tokens and dollars were consumed whether or not the
+                        // call beats the timeout below.
+                        r.charge_usage(
+                            (resp.usage.input_tokens + resp.usage.output_tokens) as u64,
+                            resp.usage.cost_usd,
+                        );
                         let p = r.policy();
                         if p.call_timeout_ms > 0.0 && model_latency_ms > p.call_timeout_ms {
                             // Simulated per-call timeout: the caller would
@@ -517,7 +601,7 @@ impl LlmClient {
             // the remaining budget is below the policy threshold and a
             // cheaper tier exists.
             let skip = c.fallback.is_some()
-                && c.reliability.as_deref().is_some_and(|r| r.budget_low());
+                && c.reliability().is_some_and(|r| r.budget_low());
             if !skip {
                 let prompt = c.fit_prompt(context, max_output, prompt_fn);
                 match c.generate_json(&prompt, max_output) {

@@ -13,6 +13,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod embed;
+pub mod fairshare;
 pub mod mock;
 pub mod model;
 pub mod prompt;
@@ -24,8 +25,12 @@ pub use batch::{run_batched, BatchConfig, BatchReport};
 pub use cache::{CacheKey, CacheStats, LlmCallCache};
 pub use chaos::{ChaosKeying, ChaosModel, ChaosSchedule, FaultKind, FaultWindow};
 pub use client::{DegradedJson, LlmClient, RetryPolicy, UsageMeter, UsageStats};
-pub use reliability::{BreakerState, CircuitBreaker, ReliabilityPolicy, ReliabilityState};
+pub use reliability::{
+    BreakerBoard, BreakerState, CircuitBreaker, ReliabilityPolicy, ReliabilitySlot,
+    ReliabilityState,
+};
 pub use embed::{cosine, EmbeddingModel, HashedBowEmbedder};
+pub use fairshare::{jain_index, DrrQueue, FairShare, FairShareStats, SlotGuard};
 pub use mock::{EngineCtx, MockLlm, SimConfig, TaskEngine};
 pub use model::{LanguageModel, LlmRequest, LlmResponse, Usage};
 pub use registry::{spec_by_name, ModelSpec, TaskKind, ALL_MODELS, GPT35_SIM, GPT4_SIM, LLAMA7B_SIM};

@@ -133,7 +133,9 @@ fn flush_block(block: &[(usize, &Fragment)], page: usize, out: &mut Vec<Region>)
     if block.is_empty() {
         return;
     }
-    let bbox = BBox::enclosing(block.iter().map(|(_, f)| f.bbox)).expect("non-empty");
+    let Some(bbox) = BBox::enclosing(block.iter().map(|(_, f)| f.bbox)) else {
+        return; // unreachable: the block was checked non-empty above
+    };
     let text = block
         .iter()
         .map(|(_, f)| f.text.as_str())

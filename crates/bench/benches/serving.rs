@@ -1,0 +1,197 @@
+//! E17 — multi-tenant serving: admission, per-tenant budgets, fair-share
+//! LLM slots, and fairness under an aggressor.
+//!
+//! Two sections:
+//!
+//! 1. **Live service**: a `QueryService` over an ingested NTSB corpus with
+//!    three tenants (gold at weight 2, silver and a storming aggressor at
+//!    weight 1), driven by real threads through admission control. Reports
+//!    per-tenant answered/overloaded counters, simulated spend, fair-share
+//!    grant counts, and shared-cache hit rates.
+//! 2. **Closed-loop simulation**: per-question service demands profiled
+//!    from solo runs drive the deficit-round-robin discrete-event
+//!    simulation on the virtual clock — thousands of simulated concurrent
+//!    questions in microseconds of real time. Reports per-tenant p50/p99
+//!    latency, the Jain fairness index over the contention window, and the
+//!    victim's p99 with and without the aggressor.
+//!
+//! Run with: `cargo bench -p bench --bench serving`
+//! Smoke mode (CI): `SERVING_SMOKE=1 cargo bench -p bench --bench serving`
+//! shrinks the simulated question volume (~300 instead of ~2000).
+
+use aryn::luna::{
+    CacheKeyPolicy, LoadGen, LoadProfile, LoadTenant, QueryService, ServeConfig, TenantSpec,
+};
+use aryn::prelude::*;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::thread;
+
+const QUESTIONS: &[&str] = &[
+    "How many incidents were caused by environmental factors?",
+    "How many incidents happened in Alaska?",
+    "How many incidents were caused by wind?",
+    "How many incidents were weather related?",
+];
+
+fn build_service(cache_policy: CacheKeyPolicy) -> QueryService {
+    let seed = 17;
+    let ctx = Context::new();
+    let corpus = Corpus::ntsb(seed, 24);
+    ctx.register_corpus("ntsb", &corpus);
+    let client = LlmClient::new(Arc::new(MockLlm::new(&GPT4_SIM, SimConfig::with_seed(seed))));
+    ingest_lake(&ctx, "ntsb", "ntsb", &client, aryn::luna::ntsb_schema(), Detector::DetrSim)
+        .expect("ingest");
+    QueryService::new(
+        ctx,
+        &["ntsb"],
+        ServeConfig {
+            max_active: 8,
+            queue_depth: 64,
+            llm_slots: 4,
+            cache_policy,
+            tenants: vec![
+                TenantSpec::new("gold", 2.0),
+                TenantSpec::new("silver", 1.0),
+                TenantSpec::new("aggressor", 1.0),
+            ],
+            sim: SimConfig::with_seed(seed),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service")
+}
+
+/// Real threads through the live service: every tenant asks the question
+/// set `rounds` times; the aggressor runs 4 concurrent streams.
+fn live_section(svc: &Arc<QueryService>, report: &mut String) {
+    let rounds = 3;
+    let mut handles = Vec::new();
+    for (tenant, streams) in [("gold", 1usize), ("silver", 1), ("aggressor", 4)] {
+        for _ in 0..streams {
+            let svc = Arc::clone(svc);
+            handles.push(thread::spawn(move || {
+                for _ in 0..rounds {
+                    for q in QUESTIONS {
+                        let _ = svc.submit(tenant, q);
+                    }
+                }
+            }));
+        }
+    }
+    for h in handles {
+        h.join().expect("live driver thread");
+    }
+    let stats = svc.stats();
+    let fair = svc.fair_stats();
+    let cache = svc.cache_stats();
+    let _ = writeln!(report, "live service ({} questions per stream per round, {rounds} rounds)", QUESTIONS.len());
+    let _ = writeln!(
+        report,
+        "{:>10} {:>9} {:>9} {:>10} {:>12} {:>10} {:>10}",
+        "tenant", "asked", "answered", "overload", "spent_ms", "tokens", "slots"
+    );
+    for (id, t) in &stats.tenants {
+        let _ = writeln!(
+            report,
+            "{:>10} {:>9} {:>9} {:>10} {:>12.0} {:>10} {:>10}",
+            id,
+            t.questions,
+            t.answered,
+            t.overloaded,
+            t.spent_ms,
+            t.spent_tokens,
+            fair.granted.get(id).copied().unwrap_or(0),
+        );
+    }
+    let _ = writeln!(
+        report,
+        "shared cache: {} hits / {} misses ({:.0}% hit rate), breaker trips {}",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        svc.breaker_trips(),
+    );
+}
+
+/// Profiles per-question service demand (simulated ms) from solo runs.
+fn profile_demand(svc: &QueryService) -> Vec<f64> {
+    QUESTIONS
+        .iter()
+        .map(|q| {
+            let session = svc.session("silver").expect("tenant");
+            session.ask(q).expect("solo question");
+            session.question_reliability().expect("session mode").now_ms().max(1.0)
+        })
+        .collect()
+}
+
+fn sim_section(demand: &[f64], smoke: bool, report: &mut String) {
+    let questions_per_user = if smoke { 4 } else { 25 };
+    let quantum = demand.iter().sum::<f64>() / demand.len() as f64;
+    let tenant = |id: &str, weight: f64, users: usize| LoadTenant {
+        id: id.into(),
+        weight,
+        users,
+        questions_per_user,
+        profile: LoadProfile::of(demand.to_vec()),
+    };
+    let solo = LoadGen { slots: 4, quantum, tenants: vec![tenant("victim", 1.0, 4)] }.run();
+    let contested = LoadGen {
+        slots: 4,
+        quantum,
+        tenants: vec![
+            tenant("victim", 1.0, 4),
+            tenant("gold", 2.0, 8),
+            tenant("aggressor", 1.0, 64),
+        ],
+    }
+    .run();
+    let total: u64 = contested.tenants.values().map(|t| t.completed).sum();
+    let _ = writeln!(
+        report,
+        "\nclosed-loop simulation ({total} questions, 4 slots, deficit round-robin, virtual clock)"
+    );
+    let _ = writeln!(report, "{}", contested.render().trim_end());
+    let solo_p99 = solo.tenants["victim"].p99_ms;
+    let contested_p99 = contested.tenants["victim"].p99_ms;
+    let _ = writeln!(
+        report,
+        "victim p99: {solo_p99:.1} ms solo -> {contested_p99:.1} ms under aggressor ({:.2}x, bound 4.0x)",
+        contested_p99 / solo_p99.max(1e-9),
+    );
+    let _ = writeln!(report, "jain fairness index: {:.4} (floor 0.9)", contested.jain);
+    // The bench enforces the same bar as the CI fairness guard: a broken
+    // scheduler should fail loudly here, not just print a worse number.
+    assert!(
+        contested_p99 <= solo_p99 * 4.0 + 1.0,
+        "victim p99 {contested_p99:.1} ms exceeds 4x solo bound ({solo_p99:.1} ms)"
+    );
+    assert!(contested.jain >= 0.9, "jain {:.4} below 0.9 floor", contested.jain);
+}
+
+fn main() {
+    let smoke = std::env::var_os("SERVING_SMOKE").is_some();
+    println!("E17: multi-tenant serving — admission, budgets, fair-share slots\n");
+    let mut report = String::new();
+    // Profile on its own service instance so the live section runs cold:
+    // cache hits never meter, and a pre-warmed cache would zero out every
+    // tenant's spend column. Per-tenant cache keys make each tenant pay
+    // (and be metered for) its own misses.
+    let demand = profile_demand(&build_service(CacheKeyPolicy::PerTenant));
+    let svc = Arc::new(build_service(CacheKeyPolicy::PerTenant));
+    live_section(&svc, &mut report);
+    sim_section(&demand, smoke, &mut report);
+    print!("{report}");
+
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create bench_results/: {e}");
+        return;
+    }
+    let path = dir.join("serving.txt");
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("\nreport exported to {}", path.display()),
+        Err(e) => eprintln!("report export failed: {e}"),
+    }
+}

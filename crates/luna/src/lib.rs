@@ -19,6 +19,7 @@ pub mod ops;
 pub mod optimize;
 pub mod planner;
 pub mod schema;
+pub mod serve;
 
 pub use analyze::{analyze, Analysis, Analyzer, FieldType, LintRule, PlanCtx, Shape};
 pub use costmodel::{
@@ -27,7 +28,13 @@ pub use costmodel::{
 };
 pub use exec::{eval_math, LunaResult, NodeOutput, NodeTrace, PlanExecutor};
 pub use kg::{build_earnings_graph, build_ntsb_graph, competitors_of};
-pub use luna::{earnings_schema, ingest_lake, ntsb_schema, Luna, LunaAnswer, LunaConfig};
+pub use luna::{
+    earnings_schema, ingest_lake, ntsb_schema, Luna, LunaAnswer, LunaConfig, SessionWiring,
+};
+pub use serve::{
+    percentile, Admission, AdmissionGuard, CacheKeyPolicy, LoadGen, LoadProfile, LoadTenant,
+    QueryService, ServeConfig, ServeStats, SimReport, TenantSim, TenantSpec, TenantStats,
+};
 pub use ops::{Plan, PlanNode, PlanOp};
 pub use optimize::{optimize, Optimized, OptimizerCfg};
 pub use planner::{PlannerEngine, RulePlanner};

@@ -9,9 +9,44 @@ use crate::planner::{PlannerEngine, RulePlanner};
 use crate::schema::IndexSchema;
 use aryn_core::{ArynError, Result, Severity, Value};
 use aryn_llm::prompt::tasks;
-use aryn_llm::{CacheStats, LlmCallCache, LlmClient, MockLlm, ModelSpec, SimConfig, TaskEngine, UsageStats};
+use aryn_llm::{
+    CacheStats, FairShare, LlmCallCache, LlmClient, MockLlm, ModelSpec, ReliabilitySlot,
+    ReliabilityState, SimConfig, TaskEngine, UsageStats,
+};
 use aryn_telemetry::{Telemetry, Trace};
 use std::sync::Arc;
+
+/// Serving-mode wiring for one Luna session (see [`crate::serve`]). The
+/// multi-tenant service builds shared infrastructure — call cache, fair-share
+/// gate, tenant-scoped reliability forks, discovered schemas, the knowledge
+/// graph — exactly once and injects it here, so creating a session is cheap
+/// and sessions never mutate the shared context's global knobs.
+pub struct SessionWiring {
+    /// Tenant the session belongs to (fair-share identity; also the breaker
+    /// scope when the reliability state is tenant-scoped).
+    pub tenant: String,
+    /// Tag stamped on every stage this session executes (conventionally
+    /// `tenant/session-N`), reported via `StageStats::tenant` and stage
+    /// span notes.
+    pub session_tag: String,
+    /// Shared call cache. `None` = no cache for this session.
+    pub call_cache: Option<Arc<LlmCallCache>>,
+    /// Cache-key namespace: `Some` isolates this session's entries from
+    /// other namespaces in the shared cache (per-tenant cache policy);
+    /// `None` shares the global key space.
+    pub cache_namespace: Option<String>,
+    /// The session's reliability handle (typically a tenant-scoped fork of
+    /// the service's base state). Each `ask` installs a fresh
+    /// [`ReliabilityState::fork`] of it, so question budgets are isolated
+    /// while breaker boards stay shared.
+    pub reliability: Option<Arc<ReliabilityState>>,
+    /// Fair-share LLM call-slot gate shared across all sessions.
+    pub slots: Option<Arc<FairShare>>,
+    /// Pre-discovered index schemas (skips per-session discovery).
+    pub schemas: Option<Vec<IndexSchema>>,
+    /// Prebuilt knowledge graph (skips the per-session O(docs) build).
+    pub graph: Option<Arc<aryn_index::GraphStore>>,
+}
 
 /// Luna configuration.
 pub struct LunaConfig {
@@ -81,6 +116,12 @@ pub struct LunaConfig {
     /// liveness pass proves is never read downstream (with cost deltas in
     /// the optimizer notes). Answers are unchanged — extraction is 1:1.
     pub prune_dead_fields: bool,
+    /// Serving-mode wiring ([`SessionWiring`]): shared infrastructure
+    /// injected by the multi-tenant service. When set, Luna never mutates
+    /// context-global knobs (`set_reliability`, `set_chaos`) and skips
+    /// schema discovery / KG construction where prebuilt artifacts are
+    /// provided. `None` (the default) is the classic single-session path.
+    pub session: Option<SessionWiring>,
 }
 
 impl Default for LunaConfig {
@@ -105,6 +146,7 @@ impl Default for LunaConfig {
             analyze_cost: false,
             enforce_budget: false,
             prune_dead_fields: false,
+            session: None,
         }
     }
 }
@@ -123,12 +165,26 @@ pub struct Luna {
     /// actually run.
     cost_knobs: Option<crate::costmodel::CostKnobs>,
     enforce_budget: bool,
+    /// Session-mode reliability: the session's base state plus the one slot
+    /// every ladder tier holds. `ask` installs `base.fork()` into the slot,
+    /// giving each question fresh budget clocks without touching the
+    /// context-global reliability state other sessions may be using.
+    session_reliability: Option<(Arc<ReliabilityState>, Arc<ReliabilitySlot>)>,
 }
 
 impl Luna {
     /// Builds Luna over a Sycamore context whose catalog already holds the
     /// ingested stores named in `indexes`.
     pub fn new(ctx: sycamore::Context, indexes: &[&str], cfg: LunaConfig) -> Result<Luna> {
+        let mut cfg = cfg;
+        let wiring = cfg.session.take();
+        // A session executes on its own tagged context handle: the tag is
+        // per-handle (never shared), so concurrent sessions stamp their own
+        // stage stats without racing.
+        let ctx = match &wiring {
+            Some(w) if !w.session_tag.is_empty() => ctx.with_session_tag(&w.session_tag),
+            _ => ctx,
+        };
         // Apply the micro-batching knobs to the live context (a query-time
         // setting: the sinks survive, unlike `with_exec`), and let the
         // optimizer's cost model know so its notes reflect the engine's
@@ -148,21 +204,45 @@ impl Luna {
         if cfg.exec_workers > 1 || cfg.exec_morsel_size != 32 {
             ctx.set_parallelism(cfg.exec_workers, cfg.exec_morsel_size, cfg.exec_steal);
         }
-        // Reliability: one shared state (clock, budget, per-model breakers)
-        // installed on the context, so every docset-level semantic operator
-        // — including the ones Luna's plan nodes build — runs under it. The
-        // chaos schedule rides the same channel; each operator gets a fresh
-        // fault clock when its client is attached.
-        let reliability_state = cfg.reliability.filter(|p| p.enabled()).map(|p| ctx.set_reliability(p));
-        if let Some(schedule) = &cfg.chaos {
-            ctx.set_chaos(schedule.clone());
+        // Reliability. Classic mode: one shared state (clock, budget,
+        // per-model breakers) installed on the context, so every
+        // docset-level semantic operator — including the ones Luna's plan
+        // nodes build — runs under it; the chaos schedule rides the same
+        // channel. Session mode: the service injects the session's state
+        // and Luna NEVER touches the context-global slot (concurrent
+        // sessions would trample each other); instead every client tier
+        // shares one `ReliabilitySlot` that `ask` repoints at a fresh fork.
+        let (reliability_state, reliability_slot) = match &wiring {
+            Some(w) => {
+                let state = w.reliability.clone().filter(|s| s.policy().enabled());
+                let slot = state.as_ref().map(|s| ReliabilitySlot::new(Arc::clone(s)));
+                (state, slot)
+            }
+            None => {
+                let state = cfg
+                    .reliability
+                    .filter(|p| p.enabled())
+                    .map(|p| ctx.set_reliability(p));
+                (state, None)
+            }
+        };
+        if wiring.is_none() {
+            if let Some(schedule) = &cfg.chaos {
+                ctx.set_chaos(schedule.clone());
+            }
         }
         optimizer.degradation_chain = reliability_state.is_some();
-        let mut schemas = Vec::new();
-        for name in indexes {
-            let schema = ctx.with_store(name, |s| IndexSchema::discover(name, s))?;
-            schemas.push(schema);
-        }
+        let schemas = match wiring.as_ref().and_then(|w| w.schemas.clone()) {
+            Some(prebuilt) => prebuilt,
+            None => {
+                let mut schemas = Vec::new();
+                for name in indexes {
+                    let schema = ctx.with_store(name, |s| IndexSchema::discover(name, s))?;
+                    schemas.push(schema);
+                }
+                schemas
+            }
+        };
         // The planner LLM: the rule planner registered as its `plan` brain
         // (or an injected engine, used by repair-loop tests).
         let engine = cfg.planner_engine.unwrap_or_else(|| {
@@ -170,27 +250,53 @@ impl Luna {
         });
         // One call cache shared by every client Luna owns, so any operator
         // (or the planner) repeating an identical temperature-0 call hits it.
-        let call_cache: Option<Arc<LlmCallCache>> = if cfg.call_cache {
-            let cache = LlmCallCache::with_capacity(cfg.call_cache_capacity);
-            let cache = match &cfg.call_cache_dir {
-                Some(dir) => cache.with_disk(dir)?,
-                None => cache,
-            };
-            Some(Arc::new(cache))
-        } else {
-            None
+        // In session mode the service's shared cache is injected instead;
+        // the session's namespace (per-tenant cache policy) and fair-share
+        // slot gate ride the same attach path so every tier honors them.
+        let call_cache: Option<Arc<LlmCallCache>> = match &wiring {
+            Some(w) => w.call_cache.clone(),
+            None if cfg.call_cache => {
+                let cache = LlmCallCache::with_capacity(cfg.call_cache_capacity);
+                let cache = match &cfg.call_cache_dir {
+                    Some(dir) => cache.with_disk(dir)?,
+                    None => cache,
+                };
+                Some(Arc::new(cache))
+            }
+            None => None,
         };
-        let attach = |client: LlmClient| match &call_cache {
-            Some(cache) => client.with_cache(Arc::clone(cache)),
-            None => client,
+        let cache_namespace = wiring.as_ref().and_then(|w| w.cache_namespace.clone());
+        let fair_slots = wiring
+            .as_ref()
+            .and_then(|w| w.slots.clone().map(|gate| (gate, w.tenant.clone())));
+        let attach = |client: LlmClient| {
+            let mut c = client;
+            if let Some(cache) = &call_cache {
+                c = c.with_cache(Arc::clone(cache));
+            }
+            if let Some(ns) = &cache_namespace {
+                c = c.with_cache_namespace(ns);
+            }
+            if let Some((gate, tenant)) = &fair_slots {
+                c = c.with_slots(Arc::clone(gate), tenant);
+            }
+            c
         };
         let planner_llm = MockLlm::new(cfg.planner_model, cfg.sim.clone()).with_engine(engine);
-        let planner_client = attach(LlmClient::new(Arc::new(planner_llm)).with_policy(
+        let mut planner_client = attach(LlmClient::new(Arc::new(planner_llm)).with_policy(
             aryn_llm::RetryPolicy {
                 max_reask: 4,
                 ..aryn_llm::RetryPolicy::default()
             },
         ));
+        // Session mode meters planning against the tenant's budget too —
+        // a pushed-down question's only LLM work is its plan call, and the
+        // serving layer accounts every simulated millisecond. Classic mode
+        // keeps the planner unguarded (historical call counts and
+        // fingerprints stay exact).
+        if let Some(slot) = &reliability_slot {
+            planner_client = planner_client.with_reliability_slot(Arc::clone(slot));
+        }
         // Execution clients: default plus one per catalogue model, so the
         // optimizer's routing decisions have real endpoints. Under a
         // reliability policy each client is the head of a degradation
@@ -206,7 +312,11 @@ impl Luna {
             let mut chain: Option<LlmClient> = None;
             for spec in aryn_llm::ALL_MODELS[start..].iter().rev() {
                 let mut c = attach(LlmClient::new(Arc::new(MockLlm::new(spec, cfg.sim.clone()))));
-                if let Some(state) = &reliability_state {
+                if let Some(slot) = &reliability_slot {
+                    // Session mode: every tier holds the SAME slot, so one
+                    // `install` per question repoints the whole ladder.
+                    c = c.with_reliability_slot(Arc::clone(slot));
+                } else if let Some(state) = &reliability_state {
                     c = c.with_reliability(Arc::clone(state));
                 }
                 if let Some(cheaper) = chain.take() {
@@ -229,16 +339,23 @@ impl Luna {
             attach(LlmClient::new(Arc::new(MockLlm::new(cfg.exec_model, cfg.sim.clone()))))
         };
         // Pay-as-you-go knowledge graph over the ingested stores (§7): built
-        // from extracted properties, merged across indexes.
-        let mut graph = aryn_index::GraphStore::new();
-        for name in indexes {
-            ctx.with_store(name, |s| {
-                let _ = crate::kg::build_earnings_graph(s, &mut graph);
-                let _ = crate::kg::build_ntsb_graph(s, &mut graph);
-            })?;
-        }
-        let mut executor =
-            PlanExecutor::new(ctx, exec_client).with_graph(Arc::new(graph));
+        // from extracted properties, merged across indexes. O(docs), so
+        // serving injects one prebuilt graph rather than paying per session.
+        let graph: Arc<aryn_index::GraphStore> = match wiring.as_ref().and_then(|w| w.graph.clone())
+        {
+            Some(prebuilt) => prebuilt,
+            None => {
+                let mut graph = aryn_index::GraphStore::new();
+                for name in indexes {
+                    ctx.with_store(name, |s| {
+                        let _ = crate::kg::build_earnings_graph(s, &mut graph);
+                        let _ = crate::kg::build_ntsb_graph(s, &mut graph);
+                    })?;
+                }
+                Arc::new(graph)
+            }
+        };
+        let mut executor = PlanExecutor::new(ctx, exec_client).with_graph(graph);
         for spec in aryn_llm::ALL_MODELS {
             let client = if reliability_state.is_some() {
                 ladder(spec)
@@ -258,12 +375,19 @@ impl Luna {
                 max_transient: retry.max_transient,
                 max_reask: retry.max_reask,
                 backoff_base_ms: retry.backoff_base_ms,
-                reliability: cfg.reliability.filter(|p| p.enabled()),
+                reliability: reliability_state
+                    .as_ref()
+                    .map(|s| s.policy())
+                    .filter(|p| p.enabled()),
                 chaos: cfg.chaos.is_some(),
-                call_cache: cfg.call_cache,
+                call_cache: call_cache.is_some(),
                 workers: cfg.exec_workers.max(1),
             }
         });
+        let session_reliability = match (&reliability_state, reliability_slot) {
+            (Some(state), Some(slot)) => Some((Arc::clone(state), slot)),
+            _ => None,
+        };
         Ok(Luna {
             schemas,
             planner_client,
@@ -273,6 +397,7 @@ impl Luna {
             call_cache,
             cost_knobs,
             enforce_budget: cfg.enforce_budget,
+            session_reliability,
         })
     }
 
@@ -292,6 +417,16 @@ impl Luna {
     /// The knowledge graph built from the ingested stores.
     pub fn graph(&self) -> Option<&aryn_index::GraphStore> {
         self.executor.graph.as_deref()
+    }
+
+    /// Session mode only: the reliability state the most recent `ask` ran
+    /// under. Its budget clocks are that question's spend (each `ask`
+    /// installs a fresh fork), so the serving layer reads per-question
+    /// deadline/token/$ accounting here. `None` in classic mode.
+    pub fn question_reliability(&self) -> Option<Arc<ReliabilityState>> {
+        self.session_reliability
+            .as_ref()
+            .map(|(_, slot)| slot.current())
     }
 
     /// Plans a question via the LLM, validating and re-asking on failure —
@@ -484,8 +619,15 @@ impl Luna {
     pub fn ask(&self, question: &str) -> Result<LunaAnswer> {
         // Each question gets a fresh deadline/retry budget; circuit-breaker
         // state persists across questions (an open endpoint stays open until
-        // its cooldown elapses on the shared clock).
-        if let Some(state) = self.executor.ctx.reliability() {
+        // its cooldown elapses on the shared clock). Session mode repoints
+        // the ladder's shared slot at a fresh fork — budget clocks are
+        // question-scoped and never shared with concurrent sessions, while
+        // the breaker board behind the fork stays shared. Classic mode keeps
+        // the legacy in-place reset, safe because the context-installed
+        // state has exactly one caller.
+        if let Some((base, slot)) = &self.session_reliability {
+            slot.install(base.fork());
+        } else if let Some(state) = self.executor.ctx.reliability() {
             state.reset_budget();
         }
         let tel = self.executor.telemetry.clone();

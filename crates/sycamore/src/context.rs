@@ -112,6 +112,11 @@ pub(crate) struct ContextInner {
 #[derive(Clone)]
 pub struct Context {
     pub(crate) inner: Arc<ContextInner>,
+    /// Session/tenant tag carried by this *handle*, not by the shared inner
+    /// state: concurrent sessions over one runtime each hold their own
+    /// tagged clone (see [`Context::with_session_tag`]), so tagging never
+    /// races. Stage stats and spans report it for per-tenant attribution.
+    session: Option<Arc<str>>,
 }
 
 impl Default for Context {
@@ -140,7 +145,25 @@ impl Context {
                 exec: RwLock::new(ExecConfig::default()),
                 telemetry: Telemetry::new("sycamore"),
             }),
+            session: None,
         }
+    }
+
+    /// A handle over the same shared runtime that tags everything it
+    /// executes with `tag` (conventionally `tenant` or `tenant/session`).
+    /// Cheap — no state is copied — and purely additive: stage stats carry
+    /// the tag in [`crate::stats::StageStats::tenant`] and stage spans note
+    /// it, so a multi-tenant service can attribute counters per tenant.
+    pub fn with_session_tag(&self, tag: &str) -> Context {
+        Context {
+            inner: Arc::clone(&self.inner),
+            session: Some(Arc::from(tag)),
+        }
+    }
+
+    /// The session/tenant tag carried by this handle, if any.
+    pub fn session_tag(&self) -> Option<&str> {
+        self.session.as_deref()
     }
 
     /// Returns a context with a different execution configuration, carrying
@@ -162,6 +185,7 @@ impl Context {
                 exec: RwLock::new(exec),
                 telemetry: self.inner.telemetry.clone(),
             }),
+            session: self.session.clone(),
         }
     }
 

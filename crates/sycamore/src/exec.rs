@@ -115,6 +115,11 @@ fn record_stage_span(tel: &Telemetry, stage: &StageStats, delta: &UsageStats) {
         return;
     }
     let mut span = tel.span(&stage.name, "stage");
+    // Tenant attribution: only noted when a serving-layer session tag is
+    // present, so single-tenant traces keep their historical fingerprints.
+    if !stage.tenant.is_empty() {
+        span.note(format!("tenant={}", stage.tenant));
+    }
     span.set("rows_in", stage.rows_in as u64)
         .set("rows_out", stage.rows_out as u64)
         .set("retries", stage.retries as u64)
@@ -208,6 +213,7 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
         Some((idx, cached)) => {
             let stage = StageStats {
                 name: format!("{} [cache hit]", ops[idx].name()),
+                tenant: ctx.session_tag().unwrap_or_default().to_string(),
                 rows_in: cached.len(),
                 rows_out: cached.len(),
                 cache_hit: true,
@@ -234,6 +240,7 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
             let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
             let stage = StageStats {
                 name: ops[i].name(),
+                tenant: ctx.session_tag().unwrap_or_default().to_string(),
                 rows_in,
                 rows_out: docs.len(),
                 wall_ms,
@@ -286,6 +293,7 @@ pub fn execute(ctx: &Context, source: &Source, ops: &[Op]) -> Result<(Vec<Docume
                     .map(Op::name)
                     .collect::<Vec<_>>()
                     .join(" → "),
+                tenant: ctx.session_tag().unwrap_or_default().to_string(),
                 rows_in,
                 rows_out: docs.len(),
                 wall_ms,

@@ -36,6 +36,10 @@ pub struct WorkerStats {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageStats {
     pub name: String,
+    /// Tenant (or session) the execution ran on behalf of; empty outside
+    /// the multi-tenant serving layer. Set from the context's session tag
+    /// so per-stage counters can be attributed per tenant.
+    pub tenant: String,
     pub rows_in: usize,
     pub rows_out: usize,
     pub wall_ms: f64,
@@ -247,6 +251,7 @@ mod tests {
             stages: vec![
                 StageStats {
                     name: "filter(x)".into(),
+                    tenant: String::new(),
                     rows_in: 10,
                     rows_out: 4,
                     wall_ms: 1.5,
