@@ -163,12 +163,17 @@ pub fn truncate_tokens(text: &str, max_tokens: usize) -> &str {
 /// Case-insensitive substring test on whole words: `contains_term("due to
 /// wind gusts", "wind")` is true but `"rewinding"` does not contain `"wind"`.
 pub fn contains_term(haystack: &str, term: &str) -> bool {
-    let toks = tokenize(haystack);
-    let term_toks = tokenize(term);
-    if term_toks.is_empty() {
+    contains_tokens(haystack, &tokenize(term))
+}
+
+/// [`contains_term`] against a pre-tokenized needle. Predicates evaluated
+/// across a whole corpus tokenize the needle once up front and call this per
+/// document instead of re-tokenizing the search term on every comparison.
+pub fn contains_tokens(haystack: &str, needle: &[String]) -> bool {
+    if needle.is_empty() {
         return false;
     }
-    toks.windows(term_toks.len()).any(|w| w == term_toks.as_slice())
+    tokenize(haystack).windows(needle.len()).any(|w| w == needle)
 }
 
 /// Jaccard similarity of analyzed token sets — the cheap "string matching"

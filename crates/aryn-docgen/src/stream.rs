@@ -1,0 +1,209 @@
+//! Streaming corpus generation: documents delivered one at a time with
+//! arrival timestamps on a virtual clock, instead of a whole [`Corpus`]
+//! materialized up front. Each [`DocStream::next_arrival`] generates exactly
+//! one record (O(doc) work, O(1) memory beyond the emitted document), which
+//! is what a streaming-ingestion pipeline needs to measure per-arrival index
+//! lag without the generator itself dominating the profile.
+
+use crate::corpus::{gold_document, CorpusDoc, Domain};
+use crate::records::{EarningsRecord, NtsbRecord};
+use aryn_core::Document;
+
+/// What stage of document the stream emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStage {
+    /// Raw full-text content only (pre-partitioning).
+    Raw,
+    /// Perfectly partitioned from ground truth (oracle elements).
+    Gold,
+    /// Gold elements plus the grading record's fields as extracted
+    /// properties — a stand-in for a parse→extract pipeline having already
+    /// run, so the emitted documents are immediately plannable by Luna.
+    Extracted,
+}
+
+/// A rate-controlled, seeded document feed.
+#[derive(Debug, Clone)]
+pub struct DocStream {
+    domain: Domain,
+    seed: u64,
+    total: usize,
+    next_i: usize,
+    /// Virtual milliseconds between consecutive arrivals.
+    interval_ms: f64,
+    stage: StreamStage,
+}
+
+impl DocStream {
+    /// NTSB accident reports arriving every `interval_ms` virtual ms.
+    pub fn ntsb(seed: u64, total: usize, interval_ms: f64) -> DocStream {
+        DocStream {
+            domain: Domain::Ntsb,
+            seed,
+            total,
+            next_i: 0,
+            interval_ms,
+            stage: StreamStage::Extracted,
+        }
+    }
+
+    /// Earnings reports arriving every `interval_ms` virtual ms.
+    pub fn earnings(seed: u64, total: usize, interval_ms: f64) -> DocStream {
+        DocStream {
+            domain: Domain::Earnings,
+            seed,
+            total,
+            next_i: 0,
+            interval_ms,
+            stage: StreamStage::Extracted,
+        }
+    }
+
+    /// Overrides the emitted document stage (default: `Extracted`).
+    pub fn with_stage(mut self, stage: StreamStage) -> DocStream {
+        self.stage = stage;
+        self
+    }
+
+    /// Documents not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.total - self.next_i
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.next_i >= self.total
+    }
+
+    /// Arrival time of the next document, if any.
+    pub fn peek_arrival_ms(&self) -> Option<f64> {
+        (!self.is_exhausted()).then_some(self.next_i as f64 * self.interval_ms)
+    }
+
+    /// Generates the next document and its arrival timestamp.
+    pub fn next_arrival(&mut self) -> Option<(Document, f64)> {
+        if self.is_exhausted() {
+            return None;
+        }
+        let i = self.next_i;
+        self.next_i += 1;
+        let entry = corpus_doc(self.domain, self.seed, i);
+        Some((stage_document(&entry, self.stage), i as f64 * self.interval_ms))
+    }
+
+    /// Drains every document whose arrival time is `<= until_ms` — the shape
+    /// a poll-driven feeder wants ("what has arrived by now?").
+    pub fn next_batch(&mut self, until_ms: f64) -> Vec<(Document, f64)> {
+        let mut out = Vec::new();
+        while let Some(at) = self.peek_arrival_ms() {
+            if at > until_ms {
+                break;
+            }
+            out.extend(self.next_arrival());
+        }
+        out
+    }
+}
+
+/// Generates the `i`-th corpus entry of a domain — identical to the entry
+/// `Corpus::ntsb/earnings` would build at position `i` (same seeding), so a
+/// stream and a batch corpus over the same seed agree document-for-document.
+pub fn corpus_doc(domain: Domain, seed: u64, i: usize) -> CorpusDoc {
+    match domain {
+        Domain::Ntsb => {
+            let r = NtsbRecord::generate(seed, i);
+            let (raw, gt) = crate::ntsb::render(&r);
+            CorpusDoc {
+                id: r.id.clone(),
+                domain,
+                raw,
+                ground_truth: gt,
+                record: r.to_value(),
+            }
+        }
+        Domain::Earnings => {
+            let r = EarningsRecord::generate(seed, i);
+            let (raw, gt) = crate::earnings::render(&r);
+            CorpusDoc {
+                id: r.id.clone(),
+                domain,
+                raw,
+                ground_truth: gt,
+                record: r.to_value(),
+            }
+        }
+    }
+}
+
+/// The gold document plus the grading record's fields as extracted
+/// properties (perfect extraction).
+pub fn extracted_document(d: &CorpusDoc) -> Document {
+    let mut doc = gold_document(d);
+    if let (Some(dst), Some(src)) = (doc.properties.as_object_mut(), d.record.as_object()) {
+        for (k, v) in src {
+            if k != "id" {
+                dst.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+    }
+    doc
+}
+
+fn stage_document(d: &CorpusDoc, stage: StreamStage) -> Document {
+    match stage {
+        StreamStage::Raw => {
+            let mut doc = Document::from_text(d.id.clone(), d.raw.full_text());
+            doc.set_prop("domain", d.domain.name());
+            doc
+        }
+        StreamStage::Gold => gold_document(d),
+        StreamStage::Extracted => extracted_document(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    #[test]
+    fn stream_matches_batch_corpus_doc_for_doc() {
+        let corpus = Corpus::ntsb(3, 5);
+        let mut stream = DocStream::ntsb(3, 5, 10.0).with_stage(StreamStage::Raw);
+        let batch = corpus.raw_documents();
+        let mut n = 0;
+        while let Some((doc, at)) = stream.next_arrival() {
+            assert_eq!(doc.id, batch[n].id);
+            assert_eq!(doc.full_text(), batch[n].full_text());
+            assert_eq!(at, n as f64 * 10.0);
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(stream.is_exhausted());
+    }
+
+    #[test]
+    fn extracted_stage_carries_record_properties() {
+        let mut stream = DocStream::earnings(1, 2, 5.0);
+        let (doc, _) = stream.next_arrival().unwrap();
+        assert!(doc.prop("company").is_some());
+        assert!(doc.prop("revenue_musd").is_some());
+        assert!(doc.prop("sector").is_some());
+        assert!(doc.prop("id").is_none(), "grading id stays out of properties");
+        assert!(!doc.elements.is_empty(), "gold elements ride along");
+    }
+
+    #[test]
+    fn next_batch_drains_by_arrival_time() {
+        let mut stream = DocStream::ntsb(9, 10, 100.0);
+        let first = stream.next_batch(250.0);
+        assert_eq!(first.len(), 3, "arrivals at 0/100/200");
+        assert_eq!(stream.remaining(), 7);
+        let none = stream.next_batch(250.0);
+        assert!(none.is_empty());
+        let rest = stream.next_batch(f64::MAX);
+        assert_eq!(rest.len(), 7);
+        assert!(stream.is_exhausted());
+        assert!(stream.next_arrival().is_none());
+        assert_eq!(stream.peek_arrival_ms(), None);
+    }
+}

@@ -4,11 +4,19 @@
 //! Holds full [`Document`]s keyed by id, with structured predicate filtering
 //! over properties — the "time, hierarchy, or categories" faceting that
 //! embedding-only retrieval cannot do (paper §2).
+//!
+//! The store is LSM-shaped so ingestion is incremental (DESIGN.md §5j):
+//! writes land in a mutable memtable that seals into immutable, id-sorted
+//! [`Segment`]s shared via `Arc`; sealed segments merge back into one by
+//! deterministic compaction, which is when tombstones (deletes shadowing
+//! sealed entries) are dropped. Readers either scan the live store — a k-way
+//! merge of memtable + segments, newest layer winning per id — or take a
+//! [`StoreSnapshot`], an O(memtable) frozen view that stays bit-stable while
+//! ingestion and compaction continue underneath it (MVCC reads).
 
 use aryn_core::{ArynError, Document, Result, Value};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::Arc;
 
 /// A structured predicate over document properties.
 ///
@@ -69,13 +77,7 @@ impl Predicate {
                 if v.is_null() {
                     return false;
                 }
-                let ge = lo
-                    .as_ref()
-                    .is_none_or(|l| v.cmp_total(l) != std::cmp::Ordering::Less);
-                let le = hi
-                    .as_ref()
-                    .is_none_or(|h| v.cmp_total(h) != std::cmp::Ordering::Greater);
-                ge && le
+                range_ok(v, lo.as_ref(), hi.as_ref())
             }
             Predicate::In(path, options) => props
                 .get_path(path)
@@ -90,27 +92,165 @@ impl Predicate {
             Predicate::Not(p) => !p.matches_value(props),
         }
     }
+
+    /// Precompiles the predicate for evaluation across many documents:
+    /// per-comparison work that only depends on the predicate itself
+    /// (tokenizing `Contains` terms) is hoisted out of the per-document loop.
+    pub fn compile(&self) -> CompiledPredicate {
+        CompiledPredicate {
+            root: CompiledNode::build(self),
+        }
+    }
 }
 
-/// A named collection of documents.
-#[derive(Debug, Default)]
-pub struct DocStore {
-    docs: BTreeMap<String, Document>,
-    /// Memoized [`DocStore::schema`] result. Planners re-discover the index
-    /// schema on every question, and a discovery walks every property of
-    /// every document — so the walk is done once and invalidated on
-    /// `put`/`delete` instead of repeated per call.
-    schema_cache: RwLock<Option<BTreeMap<String, (String, usize)>>>,
-    /// Full corpus walks performed by `schema()` (cache misses) — observable
-    /// via [`DocStore::schema_scan_count`] so tests can pin rescan behaviour.
-    schema_scans: AtomicUsize,
+fn range_ok(v: &Value, lo: Option<&Value>, hi: Option<&Value>) -> bool {
+    let ge = lo.is_none_or(|l| v.cmp_total(l) != std::cmp::Ordering::Less);
+    let le = hi.is_none_or(|h| v.cmp_total(h) != std::cmp::Ordering::Greater);
+    ge && le
 }
 
-impl DocStore {
-    pub fn new() -> DocStore {
-        DocStore::default()
+/// A [`Predicate`] with per-predicate state precomputed (satellite of the
+/// segmented-store rework): `Contains` needles are tokenized once at compile
+/// time instead of once per document per leaf. `DocStore::filter` and
+/// snapshot filters compile automatically; callers evaluating one predicate
+/// against a whole corpus should compile explicitly.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    root: CompiledNode,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledNode {
+    Eq(String, Value),
+    Ne(String, Value),
+    Range {
+        path: String,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    },
+    In(String, Vec<Value>),
+    Exists(String),
+    Contains {
+        path: String,
+        /// The term pre-tokenized (lowercased word tokens).
+        needle: Vec<String>,
+    },
+    And(Vec<CompiledNode>),
+    Or(Vec<CompiledNode>),
+    Not(Box<CompiledNode>),
+}
+
+impl CompiledNode {
+    fn build(p: &Predicate) -> CompiledNode {
+        match p {
+            Predicate::Eq(path, want) => CompiledNode::Eq(path.clone(), want.clone()),
+            Predicate::Ne(path, want) => CompiledNode::Ne(path.clone(), want.clone()),
+            Predicate::Range { path, lo, hi } => CompiledNode::Range {
+                path: path.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            Predicate::In(path, options) => CompiledNode::In(path.clone(), options.clone()),
+            Predicate::Exists(path) => CompiledNode::Exists(path.clone()),
+            Predicate::Contains(path, term) => CompiledNode::Contains {
+                path: path.clone(),
+                needle: aryn_core::text::tokenize(term),
+            },
+            Predicate::And(ps) => CompiledNode::And(ps.iter().map(CompiledNode::build).collect()),
+            Predicate::Or(ps) => CompiledNode::Or(ps.iter().map(CompiledNode::build).collect()),
+            Predicate::Not(p) => CompiledNode::Not(Box::new(CompiledNode::build(p))),
+        }
     }
 
+    fn matches_value(&self, props: &Value) -> bool {
+        match self {
+            CompiledNode::Eq(path, want) => props
+                .get_path(path)
+                .is_some_and(|v| v.loose_eq(want)),
+            CompiledNode::Ne(path, want) => props
+                .get_path(path)
+                .is_some_and(|v| !v.loose_eq(want)),
+            CompiledNode::Range { path, lo, hi } => {
+                let Some(v) = props.get_path(path) else { return false };
+                if v.is_null() {
+                    return false;
+                }
+                range_ok(v, lo.as_ref(), hi.as_ref())
+            }
+            CompiledNode::In(path, options) => props
+                .get_path(path)
+                .is_some_and(|v| options.iter().any(|o| v.loose_eq(o))),
+            CompiledNode::Exists(path) => props.get_path(path).is_some_and(|v| !v.is_null()),
+            CompiledNode::Contains { path, needle } => props
+                .get_path(path)
+                .and_then(Value::as_str)
+                .is_some_and(|s| aryn_core::text::contains_tokens(s, needle)),
+            CompiledNode::And(ps) => ps.iter().all(|p| p.matches_value(props)),
+            CompiledNode::Or(ps) => ps.iter().any(|p| p.matches_value(props)),
+            CompiledNode::Not(p) => !p.matches_value(props),
+        }
+    }
+}
+
+impl CompiledPredicate {
+    pub fn matches(&self, doc: &Document) -> bool {
+        self.root.matches_value(&doc.properties)
+    }
+
+    pub fn matches_value(&self, props: &Value) -> bool {
+        self.root.matches_value(props)
+    }
+}
+
+/// Segment lifecycle knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Memtable size (in documents) at which a segment seals automatically.
+    /// `0` disables auto-sealing (everything stays in the memtable).
+    pub seal_threshold: usize,
+    /// Sealed-segment count that triggers a full-merge compaction right
+    /// after a seal. `0` disables auto-compaction.
+    pub compact_fanout: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            seal_threshold: 1024,
+            compact_fanout: 8,
+        }
+    }
+}
+
+/// Lifecycle counters, cumulative over the store's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub puts: usize,
+    pub deletes: usize,
+    /// Memtables sealed into segments.
+    pub seals: usize,
+    /// Full-merge compactions performed.
+    pub compactions: usize,
+    /// Segments consumed by compactions.
+    pub segments_merged: usize,
+    /// Tombstones resolved and dropped by compactions.
+    pub tombstones_dropped: usize,
+}
+
+/// One immutable, id-sorted run of documents. `None` entries are tombstones
+/// shadowing older layers; they survive until compaction resolves them.
+#[derive(Debug)]
+pub struct Segment {
+    id: u64,
+    docs: BTreeMap<String, Option<Arc<Document>>>,
+}
+
+impl Segment {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Entries including tombstones.
     pub fn len(&self) -> usize {
         self.docs.len()
     }
@@ -118,110 +258,414 @@ impl DocStore {
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
     }
+}
 
-    /// Inserts or replaces a document.
+type Layer = BTreeMap<String, Option<Arc<Document>>>;
+
+/// A named collection of documents (LSM-segmented; see module docs).
+#[derive(Debug, Default)]
+pub struct DocStore {
+    /// The mutable top layer. Shadows all segments.
+    mem: Layer,
+    /// Immutable sealed runs, oldest first. Newer segments shadow older.
+    segments: Vec<Arc<Segment>>,
+    config: StoreConfig,
+    stats: StoreStats,
+    /// Live (non-deleted) document count across all layers.
+    live: usize,
+    /// Mutation counter; identifies snapshots.
+    seq: u64,
+    next_segment: u64,
+    /// Incrementally-maintained schema: `path -> type name -> doc count`.
+    /// Updated by put/delete deltas, never by a corpus walk.
+    schema_types: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl DocStore {
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    pub fn with_config(config: StoreConfig) -> DocStore {
+        DocStore {
+            config,
+            ..DocStore::default()
+        }
+    }
+
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    pub fn set_config(&mut self, config: StoreConfig) {
+        self.config = config;
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Lifecycle counters (seals, compactions, tombstones dropped, ...).
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Number of sealed segments currently live.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Documents (and tombstones) in the mutable memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Mutation sequence number; two snapshots with the same `seq` are
+    /// identical views.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Inserts or replaces a document. O(doc): the memtable insert plus a
+    /// schema delta for the old and new property trees.
     pub fn put(&mut self, doc: Document) {
-        self.docs.insert(doc.id.0.clone(), doc);
-        self.invalidate_schema();
+        let id = doc.id.0.clone();
+        if let Some(old) = layered_lookup(&self.mem, &self.segments, &id).cloned() {
+            adjust_schema(&mut self.schema_types, "", &old.properties, -1);
+        } else {
+            self.live += 1;
+        }
+        adjust_schema(&mut self.schema_types, "", &doc.properties, 1);
+        self.mem.insert(id, Some(Arc::new(doc)));
+        self.stats.puts += 1;
+        self.seq += 1;
+        if self.config.seal_threshold > 0 && self.mem.len() >= self.config.seal_threshold {
+            self.seal();
+        }
     }
 
     pub fn get(&self, id: &str) -> Option<&Document> {
-        self.docs.get(id)
+        layered_lookup(&self.mem, &self.segments, id).map(Arc::as_ref)
     }
 
+    /// Deletes a document. If a sealed segment still holds the id, a
+    /// tombstone shadows it until compaction; otherwise the memtable entry
+    /// is simply dropped.
     pub fn delete(&mut self, id: &str) -> bool {
-        let removed = self.docs.remove(id).is_some();
-        if removed {
-            self.invalidate_schema();
+        let Some(old) = layered_lookup(&self.mem, &self.segments, id).cloned() else {
+            return false;
+        };
+        adjust_schema(&mut self.schema_types, "", &old.properties, -1);
+        self.live -= 1;
+        self.stats.deletes += 1;
+        self.seq += 1;
+        self.mem.remove(id);
+        // Still visible through a sealed segment? Shadow it.
+        if segment_lookup(&self.segments, id).is_some() {
+            self.mem.insert(id.to_string(), None);
         }
-        removed
+        true
     }
 
-    fn invalidate_schema(&mut self) {
-        *self
-            .schema_cache
-            .get_mut()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    /// Seals the memtable into an immutable segment (no-op when empty), then
+    /// compacts if the sealed-segment count reached `compact_fanout`.
+    /// Deterministic inline "background" maintenance: there are no threads,
+    /// so runs are bit-reproducible.
+    pub fn seal(&mut self) {
+        if self.mem.is_empty() {
+            return;
+        }
+        let docs = std::mem::take(&mut self.mem);
+        self.segments.push(Arc::new(Segment {
+            id: self.next_segment,
+            docs,
+        }));
+        self.next_segment += 1;
+        self.stats.seals += 1;
+        self.seq += 1;
+        if self.config.compact_fanout > 0 && self.segments.len() >= self.config.compact_fanout {
+            self.compact();
+        }
     }
 
-    /// All documents, id-ordered (deterministic scan order).
+    /// Merges all sealed segments into one, resolving shadowed entries and
+    /// dropping tombstones (nothing older remains for them to shadow).
+    /// Existing snapshots keep their `Arc`s to the pre-compaction segments.
+    pub fn compact(&mut self) {
+        if self.segments.is_empty() {
+            return;
+        }
+        let mut merged: Layer = BTreeMap::new();
+        let mut dropped = 0usize;
+        for seg in &self.segments {
+            for (id, entry) in &seg.docs {
+                match entry {
+                    Some(doc) => {
+                        merged.insert(id.clone(), Some(doc.clone()));
+                    }
+                    None => {
+                        merged.remove(id);
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        self.stats.compactions += 1;
+        self.stats.segments_merged += self.segments.len();
+        self.stats.tombstones_dropped += dropped;
+        self.segments = if merged.is_empty() {
+            Vec::new()
+        } else {
+            let seg = Segment {
+                id: self.next_segment,
+                docs: merged,
+            };
+            self.next_segment += 1;
+            vec![Arc::new(seg)]
+        };
+        self.seq += 1;
+    }
+
+    /// An MVCC snapshot: a frozen view sharing the sealed segments by `Arc`
+    /// and cloning only the memtable (bounded by `seal_threshold`). The view
+    /// is bit-stable under any later puts, deletes, seals, or compactions.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            seq: self.seq,
+            live: self.live,
+            mem: self.mem.clone(),
+            segments: self.segments.clone(),
+            schema: self.schema(),
+        }
+    }
+
+    /// All documents, id-ordered (deterministic scan order): a k-way merge
+    /// of memtable and segments, newest layer winning per id.
     pub fn scan(&self) -> impl Iterator<Item = &Document> {
-        self.docs.values()
+        layered_scan(&self.mem, &self.segments)
     }
 
-    /// Documents matching a structured predicate.
+    /// Documents matching a structured predicate. The predicate is compiled
+    /// once (term tokenization hoisted), then streamed over the scan.
     pub fn filter(&self, pred: &Predicate) -> Vec<&Document> {
-        self.scan().filter(|d| pred.matches(d)).collect()
+        let compiled = pred.compile();
+        self.scan().filter(|d| compiled.matches(d)).collect()
     }
 
     /// Distinct non-null values of a property with counts (facets).
     pub fn facet(&self, path: &str) -> Vec<(Value, usize)> {
-        let mut counts: Vec<(Value, usize)> = Vec::new();
-        for d in self.scan() {
-            let Some(v) = d.prop(path) else { continue };
-            if v.is_null() {
-                continue;
-            }
-            match counts.iter_mut().find(|(k, _)| k.loose_eq(v)) {
-                Some((_, c)) => *c += 1,
-                None => counts.push((v.clone(), 1)),
-            }
-        }
-        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp_total(&b.0)));
-        counts
+        layered_facet(self.scan(), path)
     }
 
     /// The observed property schema: `path -> (type name, occurrence count)`.
     /// This is Luna's "data schema" (§6.1), discovered from ingested data.
-    /// The walk is memoized: repeated calls between mutations return the
-    /// cached map without rescanning the corpus.
+    /// Maintained incrementally from put/delete deltas: deriving it is
+    /// O(paths), never a corpus walk, so a streaming feed keeps the planner's
+    /// schema fresh for free.
     pub fn schema(&self) -> BTreeMap<String, (String, usize)> {
-        if let Some(cached) = self
-            .schema_cache
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .as_ref()
-        {
-            return cached.clone();
-        }
-        let mut out: BTreeMap<String, (String, usize)> = BTreeMap::new();
-        for d in self.scan() {
-            collect_schema("", &d.properties, &mut out);
-        }
-        self.schema_scans.fetch_add(1, Ordering::Relaxed);
-        *self
-            .schema_cache
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out.clone());
-        out
+        self.schema_types
+            .iter()
+            .filter_map(|(path, types)| {
+                let total: usize = types.values().sum();
+                if total == 0 {
+                    return None;
+                }
+                // Dominant type wins; ties break to the lexicographically
+                // smaller type name for determinism.
+                let ty = types
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                    .map(|(t, _)| t.clone())?;
+                Some((path.clone(), (ty, total)))
+            })
+            .collect()
     }
 
-    /// How many full corpus walks `schema()` has performed on this store —
-    /// a cache-effectiveness probe for tests and benchmarks.
+    /// How many full corpus walks `schema()` has performed — always `0`
+    /// since the schema became delta-maintained; kept as an API probe so
+    /// tests can pin that discovery stays rescan-free.
     pub fn schema_scan_count(&self) -> usize {
-        self.schema_scans.load(Ordering::Relaxed)
+        0
     }
 }
 
-fn collect_schema(prefix: &str, v: &Value, out: &mut BTreeMap<String, (String, usize)>) {
-    if let Some(obj) = v.as_object() {
-        for (k, child) in obj {
-            let path = if prefix.is_empty() {
-                k.clone()
-            } else {
-                format!("{prefix}.{k}")
-            };
-            match child {
-                Value::Object(_) => collect_schema(&path, child, out),
-                Value::Null => {}
-                other => {
-                    let entry = out
-                        .entry(path)
-                        .or_insert_with(|| (other.type_name().to_string(), 0));
-                    entry.1 += 1;
+fn segment_lookup<'a>(segments: &'a [Arc<Segment>], id: &str) -> Option<&'a Arc<Document>> {
+    for seg in segments.iter().rev() {
+        if let Some(entry) = seg.docs.get(id) {
+            return entry.as_ref();
+        }
+    }
+    None
+}
+
+fn layered_lookup<'a>(
+    mem: &'a Layer,
+    segments: &'a [Arc<Segment>],
+    id: &str,
+) -> Option<&'a Arc<Document>> {
+    match mem.get(id) {
+        Some(entry) => entry.as_ref(),
+        None => segment_lookup(segments, id),
+    }
+}
+
+fn layered_scan<'a>(mem: &'a Layer, segments: &'a [Arc<Segment>]) -> MergeScan<'a> {
+    // Sources ordered newest first; ties on id resolve to the lowest source.
+    let mut iters = Vec::with_capacity(1 + segments.len());
+    iters.push(mem.iter().peekable());
+    for seg in segments.iter().rev() {
+        iters.push(seg.docs.iter().peekable());
+    }
+    MergeScan { iters }
+}
+
+fn layered_facet<'a>(
+    scan: impl Iterator<Item = &'a Document>,
+    path: &str,
+) -> Vec<(Value, usize)> {
+    let mut counts: Vec<(Value, usize)> = Vec::new();
+    for d in scan {
+        let Some(v) = d.prop(path) else { continue };
+        if v.is_null() {
+            continue;
+        }
+        match counts.iter_mut().find(|(k, _)| k.loose_eq(v)) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((v.clone(), 1)),
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp_total(&b.0)));
+    counts
+}
+
+/// K-way merge over id-sorted layers: smallest id next, the newest layer
+/// (lowest source index) winning duplicates, tombstones skipped.
+struct MergeScan<'a> {
+    iters: Vec<std::iter::Peekable<std::collections::btree_map::Iter<'a, String, Option<Arc<Document>>>>>,
+}
+
+impl<'a> Iterator for MergeScan<'a> {
+    type Item = &'a Document;
+
+    fn next(&mut self) -> Option<&'a Document> {
+        loop {
+            let mut best: Option<&'a String> = None;
+            for it in self.iters.iter_mut() {
+                if let Some(&(k, _)) = it.peek() {
+                    if best.is_none_or(|b| k < b) {
+                        best = Some(k);
+                    }
+                }
+            }
+            let key = best?;
+            // Advance every layer holding this id; the first (newest) wins.
+            let mut winner: Option<&'a Option<Arc<Document>>> = None;
+            for it in self.iters.iter_mut() {
+                if it.peek().is_some_and(|&(k, _)| k == key) {
+                    if let Some((_, entry)) = it.next() {
+                        winner.get_or_insert(entry);
+                    }
+                }
+            }
+            if let Some(Some(doc)) = winner {
+                return Some(doc);
+            }
+            // Tombstone on top — skip the id entirely.
+        }
+    }
+}
+
+/// Applies a document's property tree to the incremental schema with the
+/// given sign: objects recurse, nulls are skipped, every other leaf bumps
+/// `path -> type` by `delta`. Mirrors the original full-walk discovery.
+fn adjust_schema(
+    out: &mut BTreeMap<String, BTreeMap<String, usize>>,
+    prefix: &str,
+    v: &Value,
+    delta: i64,
+) {
+    let Some(obj) = v.as_object() else { return };
+    for (k, child) in obj {
+        let path = if prefix.is_empty() {
+            k.clone()
+        } else {
+            format!("{prefix}.{k}")
+        };
+        match child {
+            Value::Object(_) => adjust_schema(out, &path, child, delta),
+            Value::Null => {}
+            other => {
+                let types = out.entry(path.clone()).or_default();
+                let ty = other.type_name();
+                if delta > 0 {
+                    *types.entry(ty.to_string()).or_insert(0) += 1;
+                } else if let Some(n) = types.get_mut(ty) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        types.remove(ty);
+                    }
+                }
+                if types.is_empty() {
+                    out.remove(&path);
                 }
             }
         }
+    }
+}
+
+/// A frozen MVCC view of a [`DocStore`]: shares sealed segments by `Arc` and
+/// owns a copy of the memtable taken at snapshot time. Read-only mirror of
+/// the store's read API; unaffected by later ingestion or compaction.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    seq: u64,
+    live: usize,
+    mem: Layer,
+    segments: Vec<Arc<Segment>>,
+    schema: BTreeMap<String, (String, usize)>,
+}
+
+impl StoreSnapshot {
+    /// The store's mutation sequence number at snapshot time.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn get(&self, id: &str) -> Option<&Document> {
+        layered_lookup(&self.mem, &self.segments, id).map(Arc::as_ref)
+    }
+
+    pub fn scan(&self) -> impl Iterator<Item = &Document> {
+        layered_scan(&self.mem, &self.segments)
+    }
+
+    pub fn filter(&self, pred: &Predicate) -> Vec<&Document> {
+        let compiled = pred.compile();
+        self.scan().filter(|d| compiled.matches(d)).collect()
+    }
+
+    pub fn facet(&self, path: &str) -> Vec<(Value, usize)> {
+        layered_facet(self.scan(), path)
+    }
+
+    pub fn schema(&self) -> BTreeMap<String, (String, usize)> {
+        self.schema.clone()
     }
 }
 
@@ -364,6 +808,35 @@ mod tests {
     }
 
     #[test]
+    fn compiled_predicate_matches_interpreted() {
+        let s = store();
+        let preds = [
+            Predicate::Contains("cause".into(), "wind".into()),
+            Predicate::Contains("cause".into(), "".into()),
+            Predicate::And(vec![
+                Predicate::Eq("state".into(), Value::from("AK")),
+                Predicate::Not(Box::new(Predicate::Contains("cause".into(), "engine".into()))),
+            ]),
+            Predicate::Or(vec![
+                Predicate::Range {
+                    path: "year".into(),
+                    lo: Some(Value::Int(2021)),
+                    hi: None,
+                },
+                Predicate::In("state".into(), vec![Value::from("wa")]),
+            ]),
+            Predicate::Ne("fatal".into(), Value::Int(0)),
+            Predicate::Exists("cause".into()),
+        ];
+        for p in &preds {
+            let c = p.compile();
+            for d in s.scan() {
+                assert_eq!(p.matches(d), c.matches(d), "{p:?} on {}", d.id.as_str());
+            }
+        }
+    }
+
+    #[test]
     fn boolean_composition() {
         let s = store();
         let p = Predicate::And(vec![
@@ -401,30 +874,33 @@ mod tests {
     }
 
     #[test]
-    fn schema_is_cached_until_mutation() {
-        let s = store();
+    fn schema_is_incremental_and_never_rescans() {
+        let mut s = store();
+        // Schema derivation is delta-maintained: no corpus walk ever runs.
         assert_eq!(s.schema_scan_count(), 0);
         let first = s.schema();
-        assert_eq!(s.schema_scan_count(), 1);
-        // Repeated discovery (the planner per-question pattern) is served
-        // from the cache.
+        assert_eq!(first["state"].1, 4);
         assert_eq!(s.schema(), first);
-        assert_eq!(s.schema(), first);
-        assert_eq!(s.schema_scan_count(), 1);
-        // put invalidates...
-        let mut s = s;
+        // put folds the new document's fields in...
         s.put(doc("e", obj! { "state" => "HI", "island" => "Maui" }));
         let with_island = s.schema();
-        assert_eq!(s.schema_scan_count(), 2);
         assert_eq!(with_island["island"].0, "string");
-        // ...and so does delete.
+        assert_eq!(with_island["state"].1, 5);
+        // ...delete folds them back out...
         s.delete("e");
         assert!(!s.schema().contains_key("island"));
-        assert_eq!(s.schema_scan_count(), 3);
-        // Deleting a missing id leaves the cache warm.
         s.delete("ghost");
-        s.schema();
-        assert_eq!(s.schema_scan_count(), 3);
+        assert_eq!(s.schema(), first);
+        // ...replacement swaps old fields for new...
+        s.put(doc("a", obj! { "state" => "AK", "narrative_len" => 12i64 }));
+        let replaced = s.schema();
+        assert_eq!(replaced["narrative_len"].0, "int");
+        assert!(!replaced.contains_key("year") || replaced["year"].1 == 3);
+        // ...and seals/compactions never trigger a rescan.
+        s.seal();
+        s.compact();
+        assert_eq!(s.schema(), replaced);
+        assert_eq!(s.schema_scan_count(), 0);
     }
 
     #[test]
@@ -444,6 +920,141 @@ mod tests {
         assert!(c.get("ntsb").is_ok());
         assert!(matches!(c.get("none"), Err(ArynError::Index(_))));
         assert_eq!(c.names(), vec!["ntsb"]);
+    }
+}
+
+#[cfg(test)]
+mod lsm_tests {
+    use super::*;
+    use aryn_core::obj;
+
+    fn doc(id: &str, n: i64) -> Document {
+        let mut d = Document::new(id);
+        d.properties = obj! { "n" => n, "bucket" => (n % 3).to_string() };
+        d
+    }
+
+    fn small_store() -> DocStore {
+        DocStore::with_config(StoreConfig {
+            seal_threshold: 4,
+            compact_fanout: 3,
+        })
+    }
+
+    #[test]
+    fn reads_match_a_flat_model_across_seals_and_compactions() {
+        let mut s = small_store();
+        let mut model: BTreeMap<String, i64> = BTreeMap::new();
+        for i in 0..40i64 {
+            let id = format!("d{:02}", i % 20); // overwrite half the ids
+            s.put(doc(&id, i));
+            model.insert(id, i);
+            if i % 7 == 0 {
+                let victim = format!("d{:02}", (i + 3) % 20);
+                let in_model = model.remove(&victim).is_some();
+                assert_eq!(s.delete(&victim), in_model);
+            }
+        }
+        assert_eq!(s.len(), model.len());
+        assert!(s.stats().seals > 0, "small threshold must have sealed");
+        assert!(s.stats().compactions > 0, "fanout must have compacted");
+        // Scan order and content match the flat model exactly.
+        let got: Vec<(String, i64)> = s
+            .scan()
+            .map(|d| (d.id.0.clone(), d.prop("n").unwrap().as_int().unwrap()))
+            .collect();
+        let want: Vec<(String, i64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(got, want);
+        for (id, n) in &model {
+            assert_eq!(s.get(id).unwrap().prop("n").unwrap().as_int(), Some(*n));
+        }
+    }
+
+    #[test]
+    fn tombstones_shadow_sealed_entries_and_compaction_drops_them() {
+        let mut s = DocStore::with_config(StoreConfig {
+            seal_threshold: 0, // manual control
+            compact_fanout: 0,
+        });
+        s.put(doc("a", 1));
+        s.put(doc("b", 2));
+        s.seal();
+        assert_eq!(s.segment_count(), 1);
+        assert!(s.delete("a"));
+        assert!(s.get("a").is_none(), "memtable tombstone shadows the segment");
+        assert_eq!(s.scan().count(), 1);
+        assert_eq!(s.len(), 1);
+        // Seal the tombstone, then compact: it resolves and disappears.
+        s.seal();
+        s.compact();
+        assert_eq!(s.segment_count(), 1);
+        assert_eq!(s.stats().tombstones_dropped, 1);
+        assert!(s.get("a").is_none());
+        assert_eq!(s.len(), 1);
+        // Deleting a memtable-only doc needs no tombstone.
+        s.put(doc("c", 3));
+        assert!(s.delete("c"));
+        assert_eq!(s.memtable_len(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_under_ingestion_and_compaction() {
+        let mut s = small_store();
+        for i in 0..10i64 {
+            s.put(doc(&format!("d{i}"), i));
+        }
+        let snap = s.snapshot();
+        let seq = snap.seq();
+        let before: Vec<String> = snap.scan().map(|d| d.id.0.clone()).collect();
+        let schema_before = snap.schema();
+        // Mutate heavily underneath: overwrites, deletes, seals, compactions.
+        for i in 10..60i64 {
+            s.put(doc(&format!("d{}", i % 30), i));
+        }
+        s.delete("d3");
+        s.seal();
+        s.compact();
+        assert!(s.seq() > seq);
+        let after: Vec<String> = snap.scan().map(|d| d.id.0.clone()).collect();
+        assert_eq!(before, after, "snapshot scan is bit-stable");
+        assert_eq!(snap.len(), 10);
+        assert_eq!(snap.schema(), schema_before);
+        assert_eq!(
+            snap.get("d3").unwrap().prop("n").unwrap().as_int(),
+            Some(3),
+            "snapshot still sees the deleted doc's old value"
+        );
+        // Snapshot filter/facet run against the frozen view.
+        let f = snap.filter(&Predicate::Range {
+            path: "n".into(),
+            lo: Some(Value::Int(5)),
+            hi: None,
+        });
+        assert_eq!(f.len(), 5);
+        assert!(!snap.facet("bucket").is_empty());
+    }
+
+    #[test]
+    fn replacement_across_layers_keeps_newest() {
+        let mut s = DocStore::with_config(StoreConfig {
+            seal_threshold: 0,
+            compact_fanout: 0,
+        });
+        s.put(doc("x", 1));
+        s.seal();
+        s.put(doc("x", 2));
+        s.seal();
+        s.put(doc("x", 3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("x").unwrap().prop("n").unwrap().as_int(), Some(3));
+        assert_eq!(s.scan().count(), 1);
+        s.compact();
+        // Memtable still shadows the merged segment.
+        assert_eq!(s.get("x").unwrap().prop("n").unwrap().as_int(), Some(3));
+        s.seal();
+        s.compact();
+        assert_eq!(s.get("x").unwrap().prop("n").unwrap().as_int(), Some(3));
+        assert_eq!(s.len(), 1);
     }
 }
 
@@ -470,6 +1081,27 @@ mod persistence_tests {
         );
         // Schema and facets survive.
         assert_eq!(loaded.schema()["state"].1, 5);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_with_segments() {
+        let mut s = DocStore::with_config(StoreConfig {
+            seal_threshold: 3,
+            compact_fanout: 2,
+        });
+        for i in 0..10 {
+            let mut d = Document::new(format!("d{i}"));
+            d.properties = obj! { "n" => i as i64 };
+            s.put(d);
+        }
+        s.delete("d4");
+        assert!(s.segment_count() > 0);
+        let path = std::env::temp_dir().join("aryn-docstore-test-seg/store.jsonl");
+        s.save(&path).unwrap();
+        let loaded = DocStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 9);
+        assert!(loaded.get("d4").is_none());
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

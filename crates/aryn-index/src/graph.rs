@@ -92,6 +92,17 @@ impl GraphStore {
         self.nodes.get(id)
     }
 
+    /// Whether the exact directed edge exists — the dedup probe incremental
+    /// graph maintenance uses before wiring derived relations (e.g.
+    /// `competitor_of`) so re-processing a document never re-counts edges.
+    pub fn has_edge(&self, from: &str, relation: &str, to: &str) -> bool {
+        self.edges.contains(&Edge {
+            from: from.to_string(),
+            to: to.to_string(),
+            relation: relation.to_string(),
+        })
+    }
+
     /// Nodes with a given label.
     pub fn nodes_with_label(&self, label: &str) -> Vec<&GraphNode> {
         self.nodes.values().filter(|n| n.label == label).collect()

@@ -3,8 +3,11 @@
 //! The index substrates DocSets are written to (paper §3: "keyword, vector,
 //! and graph stores"): a BM25 inverted index ([`keyword`]), exact and HNSW
 //! vector indexes ([`vector`]), reciprocal-rank hybrid fusion ([`hybrid`]),
-//! a property docstore with structured predicates and schema discovery
-//! ([`docstore`]), and a property graph ([`graph`]).
+//! an LSM-segmented property docstore with MVCC snapshots, structured
+//! predicates and incremental schema discovery ([`docstore`]), and a
+//! property graph ([`graph`]). The keyword and vector stores both come in
+//! sharded, incrementally-maintainable forms ([`ShardedKeywordIndex`],
+//! [`ShardedHnsw`]) so a streaming feed pays O(doc) index work per arrival.
 
 pub mod docstore;
 pub mod graph;
@@ -12,8 +15,13 @@ pub mod hybrid;
 pub mod keyword;
 pub mod vector;
 
-pub use docstore::{Catalog, DocStore, Predicate};
+pub use docstore::{
+    Catalog, CompiledPredicate, DocStore, Predicate, Segment, StoreConfig, StoreSnapshot,
+    StoreStats,
+};
 pub use graph::{Edge, GraphNode, GraphStore};
 pub use hybrid::{fuse_hits, rrf_fuse, RRF_K};
-pub use keyword::{Bm25Params, Hit, KeywordIndex};
-pub use vector::{recall_at_k, FlatIndex, HnswIndex, HnswParams, Neighbor, VectorIndex};
+pub use keyword::{Bm25Params, Hit, KeywordIndex, ShardedKeywordIndex};
+pub use vector::{
+    recall_at_k, FlatIndex, HnswIndex, HnswParams, Neighbor, ShardedHnsw, VectorIndex,
+};

@@ -233,6 +233,15 @@ impl HnswIndex {
         results
     }
 
+    /// Key/vector pairs in insertion order — used by sharded wrappers to
+    /// rebuild or compact shards without re-embedding.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[f32])> {
+        self.keys
+            .iter()
+            .map(String::as_str)
+            .zip(self.vectors.iter().map(Vec::as_slice))
+    }
+
     fn link(&mut self, layer: usize, a: u32, b: u32) {
         if a == b {
             return;
@@ -347,6 +356,247 @@ impl VectorIndex for HnswIndex {
 
     fn len(&self) -> usize {
         self.keys.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+/// Sentinel shard location for keys owned by the active (unsealed) shard.
+const ACTIVE_SHARD: usize = usize::MAX;
+
+/// Live `(key, vector)` pairs extracted from one shard during compaction.
+type LiveEntries = Vec<(String, Vec<f32>)>;
+
+/// An incrementally-maintained ANN index: immutable sealed [`HnswIndex`]
+/// shards plus one bounded active shard (DESIGN.md §5j). Inserts are O(doc)
+/// against the small active shard; deletes and overwrites of sealed keys are
+/// tombstones (ownership moves; stale copies are filtered out of results at
+/// query time and physically dropped by [`ShardedHnsw::compact`]). Searches
+/// fan out over all shards, over-fetching by the live tombstone count, and
+/// merge by score with deterministic key tie-breaks.
+pub struct ShardedHnsw {
+    dims: usize,
+    params: HnswParams,
+    /// Active-shard size that triggers an automatic seal; `0` = never.
+    shard_cap: usize,
+    sealed: Vec<std::sync::Arc<HnswIndex>>,
+    active: HnswIndex,
+    /// key -> owning shard (sealed position or [`ACTIVE_SHARD`]).
+    owner: std::collections::BTreeMap<String, usize>,
+    /// Stale copies lingering in sealed shards.
+    dead: usize,
+}
+
+impl ShardedHnsw {
+    pub fn new(dims: usize, shard_cap: usize) -> ShardedHnsw {
+        ShardedHnsw::with_params(dims, HnswParams::default(), shard_cap)
+    }
+
+    pub fn with_params(dims: usize, params: HnswParams, shard_cap: usize) -> ShardedHnsw {
+        ShardedHnsw {
+            dims,
+            params,
+            shard_cap,
+            sealed: Vec::new(),
+            active: HnswIndex::new(dims, params),
+            owner: std::collections::BTreeMap::new(),
+            dead: 0,
+        }
+    }
+
+    pub fn sealed_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Stale copies awaiting compaction.
+    pub fn dead(&self) -> usize {
+        self.dead
+    }
+
+    fn layers(&self) -> impl Iterator<Item = (usize, &HnswIndex)> {
+        self.sealed
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.as_ref()))
+            .chain(std::iter::once((ACTIVE_SHARD, &self.active)))
+    }
+
+    /// Rebuilds the active shard without `key` (HNSW graphs do not support
+    /// in-place deletion; the active shard is bounded so this is O(cap)).
+    fn rebuild_active_without(&mut self, key: &str) {
+        let entries: Vec<(String, Vec<f32>)> = self
+            .active
+            .entries()
+            .filter(|(k, _)| *k != key)
+            .map(|(k, v)| (k.to_string(), v.to_vec()))
+            .collect();
+        self.active = HnswIndex::new(self.dims, self.params);
+        for (k, v) in entries {
+            let _ = self.active.add(&k, v);
+        }
+    }
+
+    /// Removes a key. Sealed copies become tombstones filtered at query
+    /// time until the next compaction.
+    pub fn remove(&mut self, key: &str) -> bool {
+        match self.owner.remove(key) {
+            Some(ACTIVE_SHARD) => {
+                self.rebuild_active_without(key);
+                true
+            }
+            Some(_) => {
+                self.dead += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Freezes the active shard (no-op when empty).
+    pub fn seal_active(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let idx = self.sealed.len();
+        for loc in self.owner.values_mut() {
+            if *loc == ACTIVE_SHARD {
+                *loc = idx;
+            }
+        }
+        let frozen = std::mem::replace(&mut self.active, HnswIndex::new(self.dims, self.params));
+        self.sealed.push(std::sync::Arc::new(frozen));
+    }
+
+    /// Tiered compaction: seals the active shard, drops every stale copy,
+    /// and merges small sealed shards into settled shards of at most
+    /// `4 * shard_cap` vectors (unbounded when `shard_cap == 0`). A settled
+    /// shard with no stale copies is carried over by `Arc` without any
+    /// rebuild, so compaction work stays proportional to the *recently
+    /// ingested* tail rather than the whole corpus — and per-shard graphs
+    /// stay small enough that fan-out search keeps near-exact recall.
+    /// Deterministic: shards are replayed in order, so the rebuilt graphs
+    /// are reproducible.
+    pub fn compact(&mut self) {
+        self.seal_active();
+        let tier_cap = if self.shard_cap == 0 {
+            usize::MAX
+        } else {
+            self.shard_cap.saturating_mul(4)
+        };
+        fn flush(
+            pending: &mut Vec<(usize, LiveEntries)>,
+            pending_len: &mut usize,
+            new_sealed: &mut Vec<std::sync::Arc<HnswIndex>>,
+            remap: &mut [usize],
+            dims: usize,
+            params: HnswParams,
+        ) {
+            if pending.is_empty() {
+                return;
+            }
+            let pos = new_sealed.len();
+            let mut merged = HnswIndex::new(dims, params);
+            for (i, entries) in pending.drain(..) {
+                remap[i] = pos;
+                for (k, v) in entries {
+                    let _ = merged.add(&k, v);
+                }
+            }
+            *pending_len = 0;
+            if !merged.is_empty() {
+                new_sealed.push(std::sync::Arc::new(merged));
+            }
+        }
+        let old = std::mem::take(&mut self.sealed);
+        let mut new_sealed: Vec<std::sync::Arc<HnswIndex>> = Vec::new();
+        let mut remap: Vec<usize> = vec![0; old.len()];
+        let mut pending: Vec<(usize, LiveEntries)> = Vec::new();
+        let mut pending_len = 0usize;
+        for (i, shard) in old.iter().enumerate() {
+            let live: LiveEntries = shard
+                .entries()
+                .filter(|(k, _)| self.owner.get(*k) == Some(&i))
+                .map(|(k, v)| (k.to_string(), v.to_vec()))
+                .collect();
+            if live.len() == shard.len() && live.len() >= tier_cap {
+                // Settled and clean: keep the built graph, zero work.
+                flush(&mut pending, &mut pending_len, &mut new_sealed, &mut remap, self.dims, self.params);
+                remap[i] = new_sealed.len();
+                new_sealed.push(std::sync::Arc::clone(shard));
+                continue;
+            }
+            if pending_len + live.len() > tier_cap {
+                flush(&mut pending, &mut pending_len, &mut new_sealed, &mut remap, self.dims, self.params);
+            }
+            pending_len += live.len();
+            pending.push((i, live));
+        }
+        flush(&mut pending, &mut pending_len, &mut new_sealed, &mut remap, self.dims, self.params);
+        self.sealed = new_sealed;
+        for loc in self.owner.values_mut() {
+            *loc = remap[*loc];
+        }
+        self.dead = 0;
+    }
+}
+
+impl VectorIndex for ShardedHnsw {
+    /// Adds (or replaces) a vector — O(doc) work against the bounded active
+    /// shard regardless of total corpus size.
+    fn add(&mut self, key: &str, vector: Vec<f32>) -> Result<()> {
+        if vector.len() != self.dims {
+            return Err(ArynError::Index(format!(
+                "dimension mismatch: index {} vs vector {}",
+                self.dims,
+                vector.len()
+            )));
+        }
+        match self.owner.get(key) {
+            Some(&ACTIVE_SHARD) => self.rebuild_active_without(key),
+            Some(_) => self.dead += 1,
+            None => {}
+        }
+        self.active.add(key, vector)?;
+        self.owner.insert(key.to_string(), ACTIVE_SHARD);
+        if self.shard_cap > 0 && self.active.len() >= self.shard_cap {
+            self.seal_active();
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dims {
+            return Err(ArynError::Index(format!(
+                "dimension mismatch: index {} vs query {}",
+                self.dims,
+                query.len()
+            )));
+        }
+        // Over-fetch per shard by the stale-copy count so tombstone
+        // filtering cannot starve the merged top-k.
+        let fetch = k.saturating_add(self.dead);
+        let mut merged: Vec<Neighbor> = Vec::new();
+        for (loc, shard) in self.layers() {
+            for n in shard.search(query, fetch)? {
+                if self.owner.get(&n.key) == Some(&loc) {
+                    merged.push(n);
+                }
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    fn len(&self) -> usize {
+        self.owner.len()
     }
 
     fn dims(&self) -> usize {
@@ -477,6 +727,67 @@ mod tests {
         }
         let q = &random_vectors(1, 16, 13)[0];
         assert_eq!(h.search(q, 5).unwrap(), h.search(q, 5).unwrap());
+    }
+
+    #[test]
+    fn sharded_hnsw_recall_with_seals_and_tombstones() {
+        let vecs = random_vectors(600, 32, 21);
+        let mut flat = FlatIndex::new(32);
+        let mut sharded = ShardedHnsw::new(32, 128); // several seals
+        for (i, v) in vecs.iter().enumerate() {
+            sharded.add(&format!("v{i}"), v.clone()).unwrap();
+        }
+        assert!(sharded.sealed_count() >= 3);
+        // Delete a slice (some sealed, some active), then build the exact
+        // baseline over the surviving set only.
+        for i in (0..600).step_by(10) {
+            assert!(sharded.remove(&format!("v{i}")));
+        }
+        assert!(sharded.dead() > 0);
+        for (i, v) in vecs.iter().enumerate() {
+            if i % 10 != 0 {
+                flat.add(&format!("v{i}"), v.clone()).unwrap();
+            }
+        }
+        assert_eq!(sharded.len(), flat.len());
+        let queries = random_vectors(20, 32, 23);
+        let r = recall_at_k(&flat, &sharded, &queries, 10).unwrap();
+        assert!(r >= 0.9, "sharded recall@10 = {r}");
+        // Tombstoned keys never surface.
+        for q in &queries {
+            for n in sharded.search(q, 20).unwrap() {
+                let i: usize = n.key[1..].parse().unwrap();
+                assert_ne!(i % 10, 0, "tombstoned {} returned", n.key);
+            }
+        }
+        // Compaction drops the stale copies without changing results much.
+        // Tiered merge (cap 128 -> 512-vector tiers) leaves a couple of
+        // settled shards instead of one monolith.
+        let before = sharded.sealed_count();
+        sharded.compact();
+        assert_eq!(sharded.dead(), 0);
+        assert!(sharded.sealed_count() <= before.min(2), "540 live / 512-tier");
+        let r2 = recall_at_k(&flat, &sharded, &queries, 10).unwrap();
+        assert!(r2 >= 0.9, "post-compaction recall@10 = {r2}");
+    }
+
+    #[test]
+    fn sharded_hnsw_replace_updates_vector() {
+        let mut sharded = ShardedHnsw::new(4, 3);
+        sharded.add("a", vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        sharded.add("b", vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        sharded.add("c", vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(sharded.sealed_count(), 1, "cap 3 seals");
+        // Replace a sealed key: the stale copy must be shadowed.
+        sharded.add("a", vec![0.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(sharded.len(), 3);
+        let out = sharded.search(&[0.0, 0.0, 0.0, 1.0], 1).unwrap();
+        assert_eq!(out[0].key, "a");
+        let out = sharded.search(&[1.0, 0.05, 0.0, 0.0], 3).unwrap();
+        assert_ne!(out[0].key, "a", "old vector for `a` is dead");
+        // Deterministic across identical rebuilds.
+        let out2 = sharded.search(&[1.0, 0.05, 0.0, 0.0], 3).unwrap();
+        assert_eq!(out, out2);
     }
 
     #[test]

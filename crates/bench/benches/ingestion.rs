@@ -1,0 +1,224 @@
+//! E19 — streaming ingestion: the LSM segmented store with incremental
+//! sidecar index maintenance (O(doc) work per arrival) against the
+//! full-rebuild baseline (re-indexing the whole corpus every R arrivals,
+//! which is what a non-incremental index forces on a streaming feed).
+//! Reports docs/sec for both, per-arrival index lag (p50/p99/max on the
+//! virtual clock), sharded-HNSW recall@10 vs exact search, and the
+//! compiled-predicate micro-benchmark.
+//!
+//! Run with: `cargo bench -p bench --bench ingestion`
+//! Smoke mode (CI): `INGESTION_SMOKE=1 cargo bench -p bench --bench ingestion`
+
+use aryn::aryn_docgen::DocStream;
+use aryn::aryn_index::{
+    recall_at_k, DocStore, FlatIndex, HnswIndex, KeywordIndex, Predicate, VectorIndex,
+};
+use aryn::sycamore::{Context, IngestConfig, Ingestor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+const ARRIVAL_MS: f64 = 5.0;
+const DIMS: usize = 256;
+
+struct IncrementalRun {
+    docs_per_sec: f64,
+    report: aryn::sycamore::IngestReport,
+    ctx: Context,
+    ing: Ingestor,
+}
+
+/// The streaming path: every arrival pays a memtable put, a postings delta,
+/// one HNSW insert, and amortized seal/compaction work.
+fn incremental(n: usize) -> IncrementalRun {
+    let ctx = Context::new();
+    let mut ing = Ingestor::new(
+        &ctx,
+        "stream",
+        IngestConfig {
+            seal_threshold: 256,
+            compact_fanout: 4,
+            ..IngestConfig::default()
+        },
+    );
+    let mut stream = DocStream::ntsb(SEED, n, ARRIVAL_MS);
+    let started = Instant::now();
+    while let Some((doc, at)) = stream.next_arrival() {
+        ing.ingest_at(doc, at).unwrap();
+    }
+    let wall = started.elapsed().as_secs_f64();
+    IncrementalRun {
+        docs_per_sec: n as f64 / wall.max(1e-9),
+        report: ing.report(),
+        ctx,
+        ing,
+    }
+}
+
+/// The baseline a non-incremental index imposes: arrivals buffer into the
+/// store, and every `rebuild_every` arrivals the keyword and vector indexes
+/// are rebuilt from scratch over everything seen so far. Generous to the
+/// baseline: embeddings and extracted texts are computed once per document
+/// and cached, so rebuilds pay only the index-insert work.
+fn full_rebuild(n: usize, rebuild_every: usize) -> f64 {
+    let ctx = Context::new();
+    let embedder = ctx.embedder();
+    let mut store = DocStore::new();
+    let mut texts: Vec<(String, String)> = Vec::with_capacity(n);
+    let mut vectors: Vec<(String, Vec<f32>)> = Vec::with_capacity(n);
+    let mut stream = DocStream::ntsb(SEED, n, ARRIVAL_MS);
+    let started = Instant::now();
+    let mut arrived = 0usize;
+    while let Some((doc, _)) = stream.next_arrival() {
+        let text = doc.full_text();
+        vectors.push((doc.id.0.clone(), embedder.embed(&text)));
+        texts.push((doc.id.0.clone(), text));
+        store.put(doc);
+        arrived += 1;
+        if arrived.is_multiple_of(rebuild_every) || arrived == n {
+            let mut kw = KeywordIndex::new();
+            let mut hnsw = HnswIndex::with_dims(DIMS);
+            for (id, text) in &texts {
+                kw.add(id.clone(), text);
+            }
+            for (id, v) in &vectors {
+                hnsw.add(id, v.clone()).unwrap();
+            }
+        }
+    }
+    n as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Sharded-HNSW answer quality after the stream: recall@10 against exact
+/// search over the same live corpus.
+fn recall_section(run: &IncrementalRun, report: &mut String) -> f64 {
+    let embedder = run.ctx.embedder();
+    let mut flat = FlatIndex::new(DIMS);
+    run.ctx
+        .with_store("stream", |s| {
+            for d in s.scan() {
+                flat.add(d.id.as_str(), embedder.embed(&d.full_text())).unwrap();
+            }
+        })
+        .unwrap();
+    let queries: Vec<Vec<f32>> = [
+        "wind gusts during the landing approach",
+        "engine failure and forced landing",
+        "fog obscured visibility near the coast",
+        "fuel contamination in the tank",
+        "probable cause pilot error",
+    ]
+    .iter()
+    .map(|q| embedder.embed(q))
+    .collect();
+    let recall = recall_at_k(&flat, run.ing.vector(), &queries, 10).unwrap();
+    let _ = writeln!(
+        report,
+        "sharded hnsw recall@10 vs exact: {recall:.3} ({} sealed shards)  [floor 0.95]",
+        run.ing.vector().sealed_count(),
+    );
+    recall
+}
+
+/// Satellite micro-bench: `Predicate::matches` re-tokenized its `Contains`
+/// needle per document per leaf; `Predicate::compile` hoists that into
+/// per-predicate state.
+fn predicate_section(run: &IncrementalRun, report: &mut String) {
+    let docs: Vec<aryn::aryn_core::Document> = run
+        .ctx
+        .with_store("stream", |s| s.scan().cloned().collect())
+        .unwrap();
+    let pred = Predicate::And(vec![
+        Predicate::Contains("cause_detail".into(), "wind gusts".into()),
+        Predicate::Exists("us_state_abbrev".into()),
+    ]);
+    let reps = 20usize;
+    let started = Instant::now();
+    let mut hits_interp = 0usize;
+    for _ in 0..reps {
+        hits_interp += docs.iter().filter(|d| pred.matches(d)).count();
+    }
+    let interp_ns = started.elapsed().as_nanos() as f64 / (reps * docs.len()) as f64;
+    let started = Instant::now();
+    let mut hits_compiled = 0usize;
+    for _ in 0..reps {
+        let compiled = pred.compile();
+        hits_compiled += docs.iter().filter(|d| compiled.matches(d)).count();
+    }
+    let compiled_ns = started.elapsed().as_nanos() as f64 / (reps * docs.len()) as f64;
+    assert_eq!(hits_interp, hits_compiled, "compilation must not change matches");
+    let _ = writeln!(
+        report,
+        "predicate matches ({} docs): interpreted {interp_ns:.0} ns/doc -> compiled {compiled_ns:.0} ns/doc ({:.2}x)",
+        docs.len(),
+        interp_ns / compiled_ns.max(1e-9),
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("INGESTION_SMOKE").is_some();
+    let (n, rebuild_every, speedup_floor) = if smoke {
+        (1_000usize, 100usize, 2.0f64)
+    } else {
+        (10_000usize, 500usize, 5.0f64)
+    };
+    println!("E19: streaming ingestion — incremental maintenance vs full rebuild\n");
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "corpus: {n} ntsb docs arriving every {ARRIVAL_MS} virtual ms{}",
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let inc = incremental(n);
+    let _ = writeln!(
+        report,
+        "incremental: {:.0} docs/sec  ({} seals, {} compactions, {} segments live)",
+        inc.docs_per_sec,
+        inc.report.seals,
+        inc.report.compactions,
+        inc.ctx.with_store("stream", |s| s.segment_count()).unwrap(),
+    );
+    let _ = writeln!(
+        report,
+        "index lag (virtual): p50 {:.1} ms  p99 {:.1} ms  max {:.1} ms",
+        inc.report.p50_lag_ms, inc.report.p99_lag_ms, inc.report.max_lag_ms,
+    );
+
+    let base_dps = full_rebuild(n, rebuild_every);
+    let speedup = inc.docs_per_sec / base_dps.max(1e-9);
+    let _ = writeln!(
+        report,
+        "full rebuild every {rebuild_every} arrivals: {base_dps:.0} docs/sec",
+    );
+    let _ = writeln!(
+        report,
+        "incremental speedup: {speedup:.1}x  [floor {speedup_floor}x; baseline credited with cached embeddings/texts]",
+    );
+
+    let recall = recall_section(&inc, &mut report);
+    predicate_section(&inc, &mut report);
+    print!("{report}");
+
+    assert!(
+        speedup >= speedup_floor,
+        "incremental ingestion speedup {speedup:.1}x below {speedup_floor}x floor"
+    );
+    assert!(recall >= 0.95, "sharded recall@10 {recall:.3} below 0.95 floor");
+    assert!(
+        inc.report.max_lag_ms <= 64.0,
+        "index lag regressed: {:?}",
+        inc.report
+    );
+
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create bench_results/: {e}");
+        return;
+    }
+    let path = dir.join("ingestion.txt");
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("\nreport exported to {}", path.display()),
+        Err(e) => eprintln!("report export failed: {e}"),
+    }
+}

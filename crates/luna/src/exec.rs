@@ -8,11 +8,13 @@
 
 use crate::ops::{Plan, PlanOp};
 use aryn_core::{ArynError, Document, Result, Value};
-use aryn_index::GraphStore;
+use aryn_index::{GraphStore, StoreSnapshot};
 use aryn_llm::prompt::tasks;
 use aryn_llm::{LlmClient, UsageStats};
 use aryn_telemetry::Telemetry;
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A node's output.
@@ -183,6 +185,12 @@ pub struct PlanExecutor {
     /// Span collector; defaults to the context's, so engine-level stage
     /// spans and Luna operator spans land in one trace.
     pub telemetry: Telemetry,
+    /// Explicitly pinned MVCC snapshots by index name. `execute` reads a
+    /// plan's stores through these when present; stores the plan scans that
+    /// are not pinned here get a fresh snapshot taken at plan start. Either
+    /// way a whole question runs against one consistent view per store while
+    /// ingestion continues underneath.
+    pins: RwLock<BTreeMap<String, Arc<StoreSnapshot>>>,
 }
 
 impl PlanExecutor {
@@ -194,7 +202,29 @@ impl PlanExecutor {
             model_clients: BTreeMap::new(),
             graph: None,
             telemetry,
+            pins: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    /// Pins `index` to its current snapshot: every subsequent `execute`
+    /// reads the store through this frozen view until [`Self::unpin_all`].
+    pub fn pin_index(&self, index: &str) -> Result<Arc<StoreSnapshot>> {
+        let snap = self.ctx.snapshot_store(index)?;
+        self.pins
+            .write()
+            .insert(index.to_string(), Arc::clone(&snap));
+        Ok(snap)
+    }
+
+    /// The explicitly pinned snapshot for `index`, if any.
+    pub fn pinned(&self, index: &str) -> Option<Arc<StoreSnapshot>> {
+        self.pins.read().get(index).cloned()
+    }
+
+    /// Drops all explicit pins; `execute` goes back to snapshotting each
+    /// scanned store at plan start.
+    pub fn unpin_all(&self) {
+        self.pins.write().clear();
     }
 
     pub fn with_graph(mut self, graph: std::sync::Arc<GraphStore>) -> PlanExecutor {
@@ -221,7 +251,22 @@ impl PlanExecutor {
     /// before any operator executes.
     pub fn execute(&self, plan: &Plan) -> Result<LunaResult> {
         plan.validate()?;
-        self.check_plan(plan)?;
+        // Pin every store the plan scans to one MVCC snapshot for the whole
+        // run (explicit pins win), so a question sees a single consistent
+        // view per store even while an ingest stream mutates it underneath.
+        // A store that cannot be snapshotted stays unpinned and the scan
+        // operator surfaces its own `Index` error at runtime, as before.
+        let mut run_pins: BTreeMap<String, Arc<StoreSnapshot>> = self.pins.read().clone();
+        for n in &plan.nodes {
+            let PlanOp::QueryDatabase { index, .. } = &n.op else { continue };
+            if !run_pins.contains_key(index) {
+                if let Ok(snap) = self.ctx.snapshot_store(index) {
+                    run_pins.insert(index.clone(), snap);
+                }
+            }
+        }
+        self.check_plan(plan, &run_pins)?;
+        self.record_ingest_spans(&run_pins);
         // One span per plan run recording the execution mode the engine's
         // per-doc stages will use. Gauges only: the mode shapes scheduling,
         // never results, so it must stay out of the trace fingerprint.
@@ -252,7 +297,7 @@ impl PlanExecutor {
                 })
                 .collect::<Result<_>>()?;
             let rows_in = inputs.iter().map(|o| o.len()).sum();
-            let out = self.run_node(&node.op, &inputs, &outputs)?;
+            let out = self.run_node(&node.op, &inputs, &outputs, &run_pins)?;
             let delta = self.meter_snapshot().since(&before);
             let cache_delta = self.cache_snapshot().since(&cache_before);
             let trace = NodeTrace {
@@ -299,14 +344,18 @@ impl PlanExecutor {
     /// the stores the plan scans: a store that cannot be opened is skipped
     /// (the scan operator surfaces its own `Index` error at runtime), so the
     /// gate never masks unknown-index failures with a different error kind.
-    fn check_plan(&self, plan: &Plan) -> Result<()> {
+    fn check_plan(&self, plan: &Plan, pins: &BTreeMap<String, Arc<StoreSnapshot>>) -> Result<()> {
         let mut schemas: Vec<crate::schema::IndexSchema> = Vec::new();
         for n in &plan.nodes {
             let PlanOp::QueryDatabase { index, .. } = &n.op else { continue };
             if schemas.iter().any(|s| s.index == *index) {
                 continue;
             }
-            if let Ok(schema) = self
+            // Discover from the run's pinned snapshot so the analyzer and
+            // the scan operators judge the same frozen view.
+            if let Some(snap) = pins.get(index) {
+                schemas.push(crate::schema::IndexSchema::discover_snapshot(index, snap));
+            } else if let Ok(schema) = self
                 .ctx
                 .with_store(index, |s| crate::schema::IndexSchema::discover(index, s))
             {
@@ -419,11 +468,37 @@ impl PlanExecutor {
         span.finish();
     }
 
+    /// One span per live ingest stream feeding a store this run pinned:
+    /// stream progress (docs/seals/compactions) and the current index lag,
+    /// so `explain_analyze` can say what was churning under the question.
+    /// Quiet stores record nothing — traces without streams keep their
+    /// historical fingerprints.
+    fn record_ingest_spans(&self, pins: &BTreeMap<String, Arc<StoreSnapshot>>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for index in pins.keys() {
+            let Some(stream) = self.ctx.ingest_stream(index) else { continue };
+            if stream.docs() == 0 {
+                continue;
+            }
+            let mut span = self.telemetry.span(format!("ingest@{index}"), "ingest");
+            span.note(format!("index={index}"));
+            span.set("ingest_docs", stream.docs() as u64)
+                .set("ingest_seals", stream.seals() as u64)
+                .set("ingest_compactions", stream.compactions() as u64)
+                .gauge("index_lag_ms", stream.last_lag_ms())
+                .gauge("index_lag_max_ms", stream.max_lag_ms());
+            span.finish();
+        }
+    }
+
     fn run_node(
         &self,
         op: &PlanOp,
         inputs: &[&NodeOutput],
         all: &BTreeMap<usize, NodeOutput>,
+        pins: &BTreeMap<String, Arc<StoreSnapshot>>,
     ) -> Result<NodeOutput> {
         let rows_of = |i: usize| -> Result<Vec<Document>> {
             inputs
@@ -434,14 +509,17 @@ impl PlanExecutor {
         };
         match op {
             PlanOp::QueryDatabase { index, prefilter } => {
-                let docs = self.ctx.with_store(index, |s| {
-                    s.scan()
-                        .filter(|d| {
-                            prefilter.iter().all(|(path, val)| prop_matches(d, path, val))
-                        })
-                        .cloned()
-                        .collect::<Vec<_>>()
-                })?;
+                let keep = |d: &&Document| {
+                    prefilter.iter().all(|(path, val)| prop_matches(d, path, val))
+                };
+                let docs = match pins.get(index) {
+                    // The run's pinned snapshot: consistent reads while
+                    // ingestion continues underneath.
+                    Some(snap) => snap.scan().filter(keep).cloned().collect::<Vec<_>>(),
+                    None => self.ctx.with_store(index, |s| {
+                        s.scan().filter(keep).cloned().collect::<Vec<_>>()
+                    })?,
+                };
                 Ok(NodeOutput::Rows(docs))
             }
             PlanOp::BasicFilter { path, value } => {

@@ -12,85 +12,110 @@
 //! BNPL market and their competitors, where the competitive information may
 //! involve a lookup in a database."
 
-use aryn_core::{obj, Result, Value};
+use aryn_core::{obj, Document, Result, Value};
 use aryn_index::{DocStore, GraphNode, GraphStore};
 
-/// Builds/refines the graph from an earnings store: company and sector
-/// entities, `in_sector` membership, and `competitor_of` edges between
-/// companies sharing a sector.
-pub fn build_earnings_graph(store: &DocStore, graph: &mut GraphStore) -> Result<usize> {
-    let mut companies: Vec<(String, String)> = Vec::new(); // (company, sector)
-    for d in store.scan() {
-        let Some(company) = d.prop("company").and_then(Value::as_str) else { continue };
-        let sector = d
-            .prop("sector")
-            .and_then(Value::as_str)
-            .unwrap_or("unknown")
-            .to_string();
-        graph.upsert_node(GraphNode {
-            id: company.to_string(),
-            label: "company".into(),
-            properties: obj! {
-                "sector" => sector.as_str(),
-                "ceo" => d.prop("ceo").cloned().unwrap_or(Value::Null),
-                "ticker" => d.prop("ticker").cloned().unwrap_or(Value::Null),
-            },
-        });
-        graph.upsert_node(GraphNode {
-            id: format!("sector:{sector}"),
-            label: "sector".into(),
-            properties: obj! { "name" => sector.as_str() },
-        });
-        graph.add_edge(company, "in_sector", &format!("sector:{sector}"))?;
-        if !companies.iter().any(|(c, _)| c == company) {
-            companies.push((company.to_string(), sector));
-        }
-    }
-    // Competitors: companies in the same sector.
+/// Merges one earnings document into the graph: company and sector nodes,
+/// `in_sector` membership, and `competitor_of` edges against every company
+/// already known in the same sector. O(companies-in-sector) per call, with
+/// `competitor_of` derived from graph state (not a batch scan), so a
+/// streaming feed can call this per arrival. Returns competitor edges added.
+pub fn update_earnings_graph(d: &Document, graph: &mut GraphStore) -> Result<usize> {
+    let Some(company) = d.prop("company").and_then(Value::as_str) else {
+        return Ok(0);
+    };
+    let company = company.to_string();
+    let sector = d
+        .prop("sector")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    graph.upsert_node(GraphNode {
+        id: company.clone(),
+        label: "company".into(),
+        properties: obj! {
+            "sector" => sector.as_str(),
+            "ceo" => d.prop("ceo").cloned().unwrap_or(Value::Null),
+            "ticker" => d.prop("ticker").cloned().unwrap_or(Value::Null),
+        },
+    });
+    let sector_node = format!("sector:{sector}");
+    graph.upsert_node(GraphNode {
+        id: sector_node.clone(),
+        label: "sector".into(),
+        properties: obj! { "name" => sector.as_str() },
+    });
+    graph.add_edge(&company, "in_sector", &sector_node)?;
+    // Competitors: the sector node's members, read back from the graph.
+    let peers: Vec<String> = graph
+        .incoming(&sector_node, Some("in_sector"))
+        .into_iter()
+        .map(|n| n.id.clone())
+        .filter(|id| *id != company)
+        .collect();
     let mut edges = 0;
-    for (i, (a, sa)) in companies.iter().enumerate() {
-        for (b, sb) in companies.iter().skip(i + 1) {
-            if sa == sb {
-                graph.add_edge(a, "competitor_of", b)?;
-                edges += 1;
-            }
+    for peer in peers {
+        if !graph.has_edge(&company, "competitor_of", &peer)
+            && !graph.has_edge(&peer, "competitor_of", &company)
+        {
+            graph.add_edge(&company, "competitor_of", &peer)?;
+            edges += 1;
         }
     }
     Ok(edges)
 }
 
-/// Builds/refines the graph from an NTSB store: incident, state, and
+/// Merges one NTSB document into the graph: incident, state, and
 /// aircraft-make entities with `occurred_in` and `involved_make` edges.
+/// Returns edges added.
+pub fn update_ntsb_graph(d: &Document, graph: &mut GraphStore) -> Result<usize> {
+    graph.upsert_node(GraphNode {
+        id: d.id.0.clone(),
+        label: "incident".into(),
+        properties: obj! {
+            "cause_detail" => d.prop("cause_detail").cloned().unwrap_or(Value::Null),
+            "year" => d.prop("year").cloned().unwrap_or(Value::Null),
+        },
+    });
+    let mut edges = 0;
+    if let Some(state) = d.prop("us_state_abbrev").and_then(Value::as_str) {
+        graph.upsert_node(GraphNode {
+            id: format!("state:{state}"),
+            label: "state".into(),
+            properties: obj! { "abbrev" => state },
+        });
+        graph.add_edge(&d.id.0, "occurred_in", &format!("state:{state}"))?;
+        edges += 1;
+    }
+    if let Some(model) = d.prop("aircraft_model").and_then(Value::as_str) {
+        let make = model.split_whitespace().next().unwrap_or(model);
+        graph.upsert_node(GraphNode {
+            id: format!("make:{make}"),
+            label: "aircraft_make".into(),
+            properties: obj! { "name" => make },
+        });
+        graph.add_edge(&d.id.0, "involved_make", &format!("make:{make}"))?;
+        edges += 1;
+    }
+    Ok(edges)
+}
+
+/// Builds/refines the graph from an earnings store: one
+/// [`update_earnings_graph`] per document. Returns competitor edges added.
+pub fn build_earnings_graph(store: &DocStore, graph: &mut GraphStore) -> Result<usize> {
+    let mut edges = 0;
+    for d in store.scan() {
+        edges += update_earnings_graph(d, graph)?;
+    }
+    Ok(edges)
+}
+
+/// Builds/refines the graph from an NTSB store: one [`update_ntsb_graph`]
+/// per document. Returns edges added.
 pub fn build_ntsb_graph(store: &DocStore, graph: &mut GraphStore) -> Result<usize> {
     let mut edges = 0;
     for d in store.scan() {
-        graph.upsert_node(GraphNode {
-            id: d.id.0.clone(),
-            label: "incident".into(),
-            properties: obj! {
-                "cause_detail" => d.prop("cause_detail").cloned().unwrap_or(Value::Null),
-                "year" => d.prop("year").cloned().unwrap_or(Value::Null),
-            },
-        });
-        if let Some(state) = d.prop("us_state_abbrev").and_then(Value::as_str) {
-            graph.upsert_node(GraphNode {
-                id: format!("state:{state}"),
-                label: "state".into(),
-                properties: obj! { "abbrev" => state },
-            });
-            graph.add_edge(&d.id.0, "occurred_in", &format!("state:{state}"))?;
-            edges += 1;
-        }
-        if let Some(model) = d.prop("aircraft_model").and_then(Value::as_str) {
-            let make = model.split_whitespace().next().unwrap_or(model);
-            graph.upsert_node(GraphNode {
-                id: format!("make:{make}"),
-                label: "aircraft_make".into(),
-                properties: obj! { "name" => make },
-            });
-            graph.add_edge(&d.id.0, "involved_make", &format!("make:{make}"))?;
-            edges += 1;
-        }
+        edges += update_ntsb_graph(d, graph)?;
     }
     Ok(edges)
 }
@@ -161,6 +186,26 @@ mod tests {
             g.node("Apex Systems").unwrap().properties.get("ceo").unwrap().as_str(),
             Some("Maria Chen")
         );
+    }
+
+    #[test]
+    fn per_doc_updates_are_idempotent_and_match_batch() {
+        let store = earnings_store();
+        let mut batch = GraphStore::new();
+        build_earnings_graph(&store, &mut batch).unwrap();
+        // Streaming the same documents one at a time lands on the same graph.
+        let mut inc = GraphStore::new();
+        for d in store.scan() {
+            update_earnings_graph(d, &mut inc).unwrap();
+        }
+        assert_eq!(inc.node_count(), batch.node_count());
+        assert_eq!(inc.edge_count(), batch.edge_count());
+        // Re-processing an arrival adds nothing: competitor wiring is
+        // derived from graph state and deduped by `has_edge`.
+        let d = store.scan().next().unwrap();
+        let added = update_earnings_graph(d, &mut inc).unwrap();
+        assert_eq!(added, 0);
+        assert_eq!(inc.edge_count(), batch.edge_count());
     }
 
     #[test]

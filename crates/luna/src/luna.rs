@@ -419,6 +419,25 @@ impl Luna {
         self.executor.graph.as_deref()
     }
 
+    /// Pins every index Luna plans against to its current MVCC snapshot:
+    /// until [`Luna::unpin_indexes`], each question reads those stores
+    /// through the frozen views, bit-stable while an ingest stream mutates
+    /// the live stores underneath. Without explicit pins, each question
+    /// still pins its scanned stores to one snapshot at plan start —
+    /// explicit pinning just fixes *which* snapshot across questions.
+    pub fn pin_indexes(&self) -> Result<()> {
+        for s in &self.schemas {
+            self.executor.pin_index(&s.index)?;
+        }
+        Ok(())
+    }
+
+    /// Drops explicit snapshot pins; questions go back to snapshotting
+    /// their stores at plan start.
+    pub fn unpin_indexes(&self) {
+        self.executor.unpin_all();
+    }
+
     /// Session mode only: the reliability state the most recent `ask` ran
     /// under. Its budget clocks are that question's spend (each `ask`
     /// installs a fresh fork), so the serving layer reads per-question
@@ -842,6 +861,24 @@ impl LunaAnswer {
             } else {
                 out.push_str(&format!("engine stages: {}\n", stages.len()));
             }
+        }
+        // Live ingest streams observed under this question (recorded only
+        // when a scanned store had a non-empty stream registered).
+        for sp in self
+            .trace
+            .spans_of_kind("ingest")
+            .iter()
+            .filter(|s| s.name.starts_with("ingest@"))
+        {
+            out.push_str(&format!(
+                "ingest stream [{}]: {} docs  {} seals  {} compactions  index lag {:.1} ms (max {:.1} ms)\n",
+                sp.name.trim_start_matches("ingest@"),
+                sp.counter("ingest_docs"),
+                sp.counter("ingest_seals"),
+                sp.counter("ingest_compactions"),
+                sp.gauge("index_lag_ms"),
+                sp.gauge("index_lag_max_ms"),
+            ));
         }
         out.push_str(&format!(
             "totals: {} llm calls  {} tokens  {} retries  ${:.4}  fingerprint {:016x}\n",

@@ -7,7 +7,7 @@
 //! fields automatically.
 
 use aryn_core::Value;
-use aryn_index::DocStore;
+use aryn_index::{DocStore, StoreSnapshot};
 
 /// One discovered field.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +49,33 @@ impl IndexSchema {
         IndexSchema {
             index: index.to_string(),
             doc_count: store.len(),
+            fields,
+        }
+    }
+
+    /// Discovers the schema of a frozen MVCC snapshot — the same derivation
+    /// as [`IndexSchema::discover`], but stable under concurrent ingestion:
+    /// a question planned against a pinned snapshot sees the fields and
+    /// counts as of that snapshot's sequence number.
+    pub fn discover_snapshot(index: &str, snap: &StoreSnapshot) -> IndexSchema {
+        let mut fields = Vec::new();
+        for (path, (ftype, count)) in snap.schema() {
+            let samples: Vec<Value> = snap
+                .facet(&path)
+                .into_iter()
+                .take(8)
+                .map(|(v, _)| v)
+                .collect();
+            fields.push(Field {
+                path,
+                ftype,
+                count,
+                samples,
+            });
+        }
+        IndexSchema {
+            index: index.to_string(),
+            doc_count: snap.len(),
             fields,
         }
     }

@@ -472,8 +472,9 @@ fn schema_evolves_with_new_extractions() {
 }
 
 /// Regression: the planner consults the index schema on every question and
-/// every `QueryDatabase` execution; the store must serve those from its
-/// cached schema instead of rescanning the corpus each time.
+/// every `QueryDatabase` execution; the store maintains its schema
+/// incrementally on every put/delete, so no amount of discovery or
+/// execution ever triggers a corpus rescan.
 #[test]
 fn repeated_queries_reuse_cached_index_schema() {
     let ctx = Context::new();
@@ -496,7 +497,7 @@ fn repeated_queries_reuse_cached_index_schema() {
     )
     .unwrap();
     let after_build = ctx.with_store("ntsb", |s| s.schema_scan_count()).unwrap();
-    assert_eq!(after_build, 1, "schema discovery scans the corpus exactly once");
+    assert_eq!(after_build, 0, "incremental schema maintenance never rescans");
     for _ in 0..3 {
         luna.ask("How many incidents were caused by environmental factors?").unwrap();
         luna.plan("Which incidents were fatal?").unwrap();

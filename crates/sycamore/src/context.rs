@@ -3,10 +3,11 @@
 //! paper code passes one `context` around (`context.read.opensearch(...)`).
 
 use crate::docset::{DocSet, Source};
+use crate::ingest::IngestShared;
 use aryn_core::{ArynError, Document, Result};
 use aryn_docgen::layout::RawDocument;
 use aryn_docgen::Corpus;
-use aryn_index::{Catalog, DocStore, HnswIndex, KeywordIndex, VectorIndex};
+use aryn_index::{Catalog, DocStore, HnswIndex, KeywordIndex, StoreSnapshot, VectorIndex};
 use aryn_llm::{
     ChaosSchedule, EmbeddingModel, HashedBowEmbedder, ReliabilityPolicy, ReliabilityState,
 };
@@ -106,6 +107,10 @@ pub(crate) struct ContextInner {
     /// partitioner; `with_exec` contexts share it so one trace covers a
     /// whole ingest-plus-query session.
     pub telemetry: Telemetry,
+    /// Live ingest streams by target store: shared counters registered by
+    /// [`crate::ingest::Ingestor`] so query layers can report segment /
+    /// compaction activity and index lag alongside a question's trace.
+    pub ingest: RwLock<BTreeMap<String, Arc<IngestShared>>>,
 }
 
 /// Shared handle to the Sycamore runtime state.
@@ -144,6 +149,7 @@ impl Context {
                 embedder,
                 exec: RwLock::new(ExecConfig::default()),
                 telemetry: Telemetry::new("sycamore"),
+                ingest: RwLock::new(BTreeMap::new()),
             }),
             session: None,
         }
@@ -184,6 +190,7 @@ impl Context {
                 embedder: Arc::clone(&self.inner.embedder),
                 exec: RwLock::new(exec),
                 telemetry: self.inner.telemetry.clone(),
+                ingest: RwLock::new(BTreeMap::new()),
             }),
             session: self.session.clone(),
         }
@@ -303,6 +310,19 @@ impl Context {
         Ok(DocSet::new(self.clone(), Source::Materialized(name.to_string())))
     }
 
+    /// DocSet over a frozen store snapshot: the pipeline reads the
+    /// snapshot's contents no matter what ingestion or compaction does to
+    /// the live store in the meantime.
+    pub fn read_snapshot(&self, name: &str, snap: Arc<StoreSnapshot>) -> DocSet {
+        DocSet::new(
+            self.clone(),
+            Source::Snapshot {
+                name: name.to_string(),
+                snap,
+            },
+        )
+    }
+
     // --- sink accessors -----------------------------------------------------
 
     /// Runs `f` with a read view of a document store.
@@ -311,9 +331,37 @@ impl Context {
         Ok(f(catalog.get(name)?))
     }
 
+    /// Runs `f` with a mutable view of a document store — the per-document
+    /// write path streaming ingestion uses (unlike [`Context::put_store`],
+    /// which replaces the store wholesale).
+    pub fn with_store_mut<T>(&self, name: &str, f: impl FnOnce(&mut DocStore) -> T) -> Result<T> {
+        let mut catalog = self.inner.catalog.write();
+        Ok(f(catalog.get_mut(name)?))
+    }
+
+    /// Takes an MVCC snapshot of a store: a frozen view that stays
+    /// bit-stable while ingestion and compaction continue underneath.
+    pub fn snapshot_store(&self, name: &str) -> Result<Arc<StoreSnapshot>> {
+        self.with_store(name, |s| Arc::new(s.snapshot()))
+    }
+
     /// Inserts (replacing) a document store.
     pub fn put_store(&self, name: &str, store: DocStore) {
         self.inner.catalog.write().insert(name, store);
+    }
+
+    /// Registers an ingest stream's shared counters under its target store
+    /// name (done by [`crate::ingest::Ingestor::new`]).
+    pub fn register_ingest(&self, store: &str, shared: Arc<IngestShared>) {
+        self.inner
+            .ingest
+            .write()
+            .insert(store.to_string(), shared);
+    }
+
+    /// The ingest stream feeding a store, if one is registered.
+    pub fn ingest_stream(&self, store: &str) -> Option<Arc<IngestShared>> {
+        self.inner.ingest.read().get(store).cloned()
     }
 
     /// Runs `f` with a read view of a keyword index.

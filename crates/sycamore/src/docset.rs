@@ -26,6 +26,12 @@ pub enum Source {
     Docs(Arc<Vec<Document>>),
     /// A named materialization.
     Materialized(String),
+    /// A frozen MVCC view of a store (`name` is the store it was taken
+    /// from): reads stay bit-stable while ingestion continues underneath.
+    Snapshot {
+        name: String,
+        snap: Arc<aryn_index::StoreSnapshot>,
+    },
 }
 
 /// A lazy, transformable collection of documents.

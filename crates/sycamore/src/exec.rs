@@ -350,6 +350,9 @@ fn plan_fingerprint(source: &Source, prefix: &[Op]) -> u64 {
             let ids: Vec<&str> = docs.iter().map(|d| d.id.as_str()).collect();
             format!("docs:{}", ids.join(","))
         }
+        // Sequence-stamped: two snapshots of the same store at different
+        // points in the stream are different sources.
+        Source::Snapshot { name, snap } => format!("snapshot:{name}@{}", snap.seq()),
     });
     parts.extend(prefix.iter().map(Op::fingerprint));
     let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
@@ -381,6 +384,7 @@ fn resolve_source(ctx: &Context, source: &Source) -> Result<Vec<Document>> {
         Source::Store(name) => {
             ctx.with_store(name, |s| s.scan().cloned().collect::<Vec<_>>())
         }
+        Source::Snapshot { snap, .. } => Ok(snap.scan().cloned().collect()),
         Source::Materialized(name) => ctx
             .inner
             .materialized

@@ -24,6 +24,7 @@ pub mod context;
 pub mod cost;
 pub mod docset;
 pub mod exec;
+pub mod ingest;
 pub mod lint;
 pub mod op;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod transforms;
 pub use context::{Context, ExecConfig, StealPolicy};
 pub use cost::{CostCfg, Interval, OpCost, PipelineCost};
 pub use docset::{DocSet, Source};
+pub use ingest::{IngestConfig, IngestReport, IngestShared, Ingestor};
 pub use op::{Agg, ElementSelector, Op, PartitionCfg};
 pub use stats::{ExecStats, StageStats, WorkerStats};
 pub use transforms::load_materialized;
