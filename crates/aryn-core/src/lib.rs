@@ -24,6 +24,7 @@ pub mod serialize;
 pub mod table;
 pub mod text;
 pub mod value;
+pub mod vfs;
 
 pub use bbox::BBox;
 pub use diag::{Diagnostic, Severity};
@@ -33,3 +34,4 @@ pub use ids::{fnv1a, stable_hash, DocId, ElementId};
 pub use lineage::LineageRecord;
 pub use table::{Cell, Table};
 pub use value::Value;
+pub use vfs::{ChaosFs, MemFs, StdFs, StorageFault, StorageSchedule, StorageWindow, Vfs};

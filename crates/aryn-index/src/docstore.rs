@@ -14,8 +14,10 @@
 //! [`StoreSnapshot`], an O(memtable) frozen view that stays bit-stable while
 //! ingestion and compaction continue underneath it (MVCC reads).
 
+use aryn_core::vfs::{self, StdFs, Vfs};
 use aryn_core::{ArynError, Document, Result, Value};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A structured predicate over document properties.
@@ -222,7 +224,23 @@ impl Default for StoreConfig {
     }
 }
 
-/// Lifecycle counters, cumulative over the store's life.
+/// Write-ahead-log knobs for durable stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// fsync the WAL after every append before acking the write. Off, acked
+    /// writes may still be lost to a crash (recovery then yields a prefix of
+    /// *submitted* writes); on, recovery covers every acked write.
+    pub fsync: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { fsync: true }
+    }
+}
+
+/// Lifecycle counters, cumulative over the store's in-process life
+/// (recovery replays count toward `puts`/`deletes` again).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     pub puts: usize,
@@ -235,6 +253,19 @@ pub struct StoreStats {
     pub segments_merged: usize,
     /// Tombstones resolved and dropped by compactions.
     pub tombstones_dropped: usize,
+    /// WAL records durably appended (acked writes on a durable store).
+    pub wal_appends: usize,
+    /// WAL records replayed into the memtable by `open`.
+    pub wal_replayed: usize,
+    /// Torn/corrupt WAL tail records truncated during recovery.
+    pub torn_tail_truncated: usize,
+    /// Sealed segment files loaded from the manifest by `open`.
+    pub segments_recovered: usize,
+    /// Stale files (orphaned temps, retired WALs/segments) swept by `open`.
+    pub orphans_removed: usize,
+    /// IO failures swallowed by the infallible mutation API (`put`, `seal`,
+    /// ...); the durable image stays consistent, the write was not acked.
+    pub io_errors: usize,
 }
 
 /// One immutable, id-sorted run of documents. `None` entries are tombstones
@@ -262,6 +293,127 @@ impl Segment {
 
 type Layer = BTreeMap<String, Option<Arc<Document>>>;
 
+/// On-disk layout (DESIGN.md §5k): a manifest naming live segments and the
+/// current WAL, checksummed per-record.
+const MANIFEST: &str = "MANIFEST";
+
+fn seg_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:06}.log")
+}
+
+/// Durable-mode state: everything persistence needs, absent on in-memory
+/// stores.
+#[derive(Debug)]
+struct Durable {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    fsync: bool,
+    /// Rotates on every seal; the manifest names the live sequence.
+    wal_seq: u64,
+    /// Set when an append failed and the WAL tail may be torn; the log is
+    /// atomically rewritten from the memtable before the next append.
+    wal_dirty: bool,
+}
+
+impl Durable {
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(wal_name(self.wal_seq))
+    }
+
+    fn seg_path(&self, id: u64) -> PathBuf {
+        self.dir.join(seg_name(id))
+    }
+}
+
+fn write_manifest(
+    fs: &dyn Vfs,
+    dir: &Path,
+    segments: &[u64],
+    wal_seq: u64,
+    next_segment: u64,
+) -> Result<()> {
+    let payload = aryn_core::json::to_string(&Value::Object(BTreeMap::from([
+        (
+            "segments".to_string(),
+            Value::Array(segments.iter().map(|id| Value::Int(*id as i64)).collect()),
+        ),
+        ("wal".to_string(), Value::Int(wal_seq as i64)),
+        ("next_segment".to_string(), Value::Int(next_segment as i64)),
+    ])));
+    let line = format!("{}\n", vfs::encode_record('m', &payload));
+    vfs::atomic_write(fs, &dir.join(MANIFEST), line.as_bytes())
+}
+
+/// Serializes a layer as tagged records: `s` per document, `t` per
+/// tombstone (payload = the shadowed id as a JSON string).
+fn layer_records(layer: &Layer) -> Vec<(char, String)> {
+    layer
+        .iter()
+        .map(|(id, entry)| match entry {
+            Some(doc) => (
+                's',
+                aryn_core::json::to_string(&aryn_core::serialize::document_to_value(doc)),
+            ),
+            None => ('t', aryn_core::json::to_string(&Value::from(id.as_str()))),
+        })
+        .collect()
+}
+
+/// WAL text equivalent to a memtable's state: `p` records for documents,
+/// `d` records for tombstones. Used to repair a possibly-torn tail.
+fn wal_text_for(layer: &Layer) -> String {
+    let mut out = String::new();
+    for (id, entry) in layer {
+        let line = match entry {
+            Some(doc) => vfs::encode_record(
+                'p',
+                &aryn_core::json::to_string(&aryn_core::serialize::document_to_value(doc)),
+            ),
+            None => vfs::encode_record(
+                'd',
+                &aryn_core::json::to_string(&Value::from(id.as_str())),
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn load_segment(fs: &dyn Vfs, dir: &Path, id: u64) -> Result<Layer> {
+    let path = dir.join(seg_name(id));
+    let text = vfs::read_to_string(fs, &path)?;
+    let mut docs: Layer = BTreeMap::new();
+    for (tag, payload) in vfs::decode_tagged_file(&text)? {
+        match tag {
+            's' => {
+                let d = aryn_core::serialize::document_from_value(&aryn_core::json::parse(
+                    &payload,
+                )?)?;
+                docs.insert(d.id.0.clone(), Some(Arc::new(d)));
+            }
+            't' => {
+                let id = aryn_core::json::parse(&payload)?;
+                let id = id
+                    .as_str()
+                    .ok_or_else(|| ArynError::Io(format!("bad tombstone {payload:?}")))?;
+                docs.insert(id.to_string(), None);
+            }
+            other => {
+                return Err(ArynError::Io(format!(
+                    "{}: unexpected record tag {other:?}",
+                    path.display()
+                )))
+            }
+        }
+    }
+    Ok(docs)
+}
+
 /// A named collection of documents (LSM-segmented; see module docs).
 #[derive(Debug, Default)]
 pub struct DocStore {
@@ -279,6 +431,9 @@ pub struct DocStore {
     /// Incrementally-maintained schema: `path -> type name -> doc count`.
     /// Updated by put/delete deltas, never by a corpus walk.
     schema_types: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Present on stores opened via [`DocStore::open`]: WAL + manifest
+    /// persistence through the VFS. In-memory stores skip it entirely.
+    durable: Option<Durable>,
 }
 
 impl DocStore {
@@ -330,9 +485,57 @@ impl DocStore {
         self.seq
     }
 
+    /// Whether this store persists through a VFS (opened via
+    /// [`DocStore::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Whether acked writes are fsynced (always `false` for in-memory
+    /// stores).
+    pub fn wal_fsync(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.fsync)
+    }
+
+    /// The durable store's directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
     /// Inserts or replaces a document. O(doc): the memtable insert plus a
-    /// schema delta for the old and new property trees.
+    /// schema delta for the old and new property trees. On a durable store
+    /// an IO failure leaves memory unchanged and bumps `io_errors`; use
+    /// [`DocStore::try_put`] when the ack matters.
     pub fn put(&mut self, doc: Document) {
+        let _ = self.try_put(doc);
+    }
+
+    /// Inserts or replaces a document; `Ok` is the durability ack. On a
+    /// durable store the WAL record is appended (and fsynced, per
+    /// [`WalConfig`]) *before* memory mutates, so `Ok` means the write
+    /// survives a crash; `Err` means it was never applied.
+    pub fn try_put(&mut self, doc: Document) -> Result<()> {
+        if self.durable.is_some() {
+            let payload =
+                aryn_core::json::to_string(&aryn_core::serialize::document_to_value(&doc));
+            if let Err(e) = self.wal_append('p', &payload) {
+                self.stats.io_errors += 1;
+                return Err(e);
+            }
+        }
+        self.apply_put(doc);
+        if self.config.seal_threshold > 0 && self.mem.len() >= self.config.seal_threshold {
+            // A failed seal doesn't unack the put: the record is in the WAL
+            // and the memtable simply stays large until a seal succeeds.
+            if self.try_seal().is_err() {
+                self.stats.io_errors += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The memory half of a put (shared with WAL replay).
+    fn apply_put(&mut self, doc: Document) {
         let id = doc.id.0.clone();
         if let Some(old) = layered_lookup(&self.mem, &self.segments, &id).cloned() {
             adjust_schema(&mut self.schema_types, "", &old.properties, -1);
@@ -343,9 +546,33 @@ impl DocStore {
         self.mem.insert(id, Some(Arc::new(doc)));
         self.stats.puts += 1;
         self.seq += 1;
-        if self.config.seal_threshold > 0 && self.mem.len() >= self.config.seal_threshold {
-            self.seal();
+    }
+
+    /// Appends one checksummed record to the WAL, repairing a torn tail
+    /// first if a previous append failed mid-write.
+    fn wal_append(&mut self, tag: char, payload: &str) -> Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        if d.wal_dirty {
+            // State-equivalent rewrite: the memtable already reflects every
+            // acked record, so an atomic dump of it repairs the tail.
+            vfs::atomic_write(&d.vfs, &d.wal_path(), wal_text_for(&self.mem).as_bytes())?;
+            d.wal_dirty = false;
         }
+        let line = format!("{}\n", vfs::encode_record(tag, payload));
+        if let Err(e) = d.vfs.append(&d.wal_path(), line.as_bytes()) {
+            d.wal_dirty = true;
+            return Err(e);
+        }
+        if d.fsync {
+            if let Err(e) = d.vfs.sync(&d.wal_path()) {
+                d.wal_dirty = true;
+                return Err(e);
+            }
+        }
+        self.stats.wal_appends += 1;
+        Ok(())
     }
 
     pub fn get(&self, id: &str) -> Option<&Document> {
@@ -354,12 +581,33 @@ impl DocStore {
 
     /// Deletes a document. If a sealed segment still holds the id, a
     /// tombstone shadows it until compaction; otherwise the memtable entry
-    /// is simply dropped.
+    /// is simply dropped. IO failures bump `io_errors` and report `false`.
     pub fn delete(&mut self, id: &str) -> bool {
-        let Some(old) = layered_lookup(&self.mem, &self.segments, id).cloned() else {
-            return false;
-        };
-        adjust_schema(&mut self.schema_types, "", &old.properties, -1);
+        self.try_delete(id).unwrap_or(false)
+    }
+
+    /// Deletes with a durability ack (see [`DocStore::try_put`]).
+    pub fn try_delete(&mut self, id: &str) -> Result<bool> {
+        if layered_lookup(&self.mem, &self.segments, id).is_none() {
+            return Ok(false);
+        }
+        if self.durable.is_some() {
+            let payload = aryn_core::json::to_string(&Value::from(id));
+            if let Err(e) = self.wal_append('d', &payload) {
+                self.stats.io_errors += 1;
+                return Err(e);
+            }
+        }
+        self.apply_delete(id);
+        Ok(true)
+    }
+
+    /// The memory half of a delete (shared with WAL replay); the id must be
+    /// live.
+    fn apply_delete(&mut self, id: &str) {
+        if let Some(old) = layered_lookup(&self.mem, &self.segments, id).cloned() {
+            adjust_schema(&mut self.schema_types, "", &old.properties, -1);
+        }
         self.live -= 1;
         self.stats.deletes += 1;
         self.seq += 1;
@@ -368,16 +616,45 @@ impl DocStore {
         if segment_lookup(&self.segments, id).is_some() {
             self.mem.insert(id.to_string(), None);
         }
-        true
     }
 
     /// Seals the memtable into an immutable segment (no-op when empty), then
     /// compacts if the sealed-segment count reached `compact_fanout`.
     /// Deterministic inline "background" maintenance: there are no threads,
-    /// so runs are bit-reproducible.
+    /// so runs are bit-reproducible. IO failures bump `io_errors` and leave
+    /// the memtable in place (retried at the next threshold crossing).
     pub fn seal(&mut self) {
+        if self.try_seal().is_err() {
+            self.stats.io_errors += 1;
+        }
+    }
+
+    /// Fallible seal. On a durable store the order is crash-safe: segment
+    /// file (atomic temp→sync→rename), then the manifest naming it and
+    /// rotating the WAL (atomic), then memory. A crash between any two
+    /// steps recovers to either the pre-seal state (WAL replay) or the
+    /// post-seal state (manifest) — never a mix.
+    pub fn try_seal(&mut self) -> Result<()> {
         if self.mem.is_empty() {
-            return;
+            return Ok(());
+        }
+        if let Some(d) = self.durable.as_mut() {
+            let seg_id = self.next_segment;
+            vfs::atomic_write(
+                &d.vfs,
+                &d.seg_path(seg_id),
+                vfs::encode_tagged_file(&layer_records(&self.mem)).as_bytes(),
+            )?;
+            let mut ids: Vec<u64> = self.segments.iter().map(|s| s.id).collect();
+            ids.push(seg_id);
+            let new_wal = d.wal_seq + 1;
+            write_manifest(&d.vfs, &d.dir, &ids, new_wal, seg_id + 1)?;
+            // The seal is durable; the superseded WAL is garbage (recovery
+            // sweeps it if this remove never runs).
+            let old = d.wal_path();
+            d.wal_seq = new_wal;
+            d.wal_dirty = false;
+            let _ = d.vfs.remove(&old);
         }
         let docs = std::mem::take(&mut self.mem);
         self.segments.push(Arc::new(Segment {
@@ -388,16 +665,30 @@ impl DocStore {
         self.stats.seals += 1;
         self.seq += 1;
         if self.config.compact_fanout > 0 && self.segments.len() >= self.config.compact_fanout {
-            self.compact();
+            // The seal stands even if compaction fails; fanout stays high
+            // and the next seal retries it.
+            if self.try_compact().is_err() {
+                self.stats.io_errors += 1;
+            }
         }
+        Ok(())
     }
 
     /// Merges all sealed segments into one, resolving shadowed entries and
     /// dropping tombstones (nothing older remains for them to shadow).
     /// Existing snapshots keep their `Arc`s to the pre-compaction segments.
+    /// IO failures bump `io_errors` and change nothing.
     pub fn compact(&mut self) {
+        if self.try_compact().is_err() {
+            self.stats.io_errors += 1;
+        }
+    }
+
+    /// Fallible compaction: merged segment file first, then the manifest
+    /// swap (atomic), then memory — crash-safe like [`DocStore::try_seal`].
+    pub fn try_compact(&mut self) -> Result<()> {
         if self.segments.is_empty() {
-            return;
+            return Ok(());
         }
         let mut merged: Layer = BTreeMap::new();
         let mut dropped = 0usize;
@@ -414,6 +705,22 @@ impl DocStore {
                 }
             }
         }
+        if let Some(d) = self.durable.as_mut() {
+            let new_id = self.next_segment;
+            if merged.is_empty() {
+                write_manifest(&d.vfs, &d.dir, &[], d.wal_seq, new_id)?;
+            } else {
+                vfs::atomic_write(
+                    &d.vfs,
+                    &d.seg_path(new_id),
+                    vfs::encode_tagged_file(&layer_records(&merged)).as_bytes(),
+                )?;
+                write_manifest(&d.vfs, &d.dir, &[new_id], d.wal_seq, new_id + 1)?;
+            }
+            for seg in &self.segments {
+                let _ = d.vfs.remove(&d.seg_path(seg.id));
+            }
+        }
         self.stats.compactions += 1;
         self.stats.segments_merged += self.segments.len();
         self.stats.tombstones_dropped += dropped;
@@ -428,6 +735,7 @@ impl DocStore {
             vec![Arc::new(seg)]
         };
         self.seq += 1;
+        Ok(())
     }
 
     /// An MVCC snapshot: a frozen view sharing the sealed segments by `Arc`
@@ -670,28 +978,213 @@ impl StoreSnapshot {
 }
 
 impl DocStore {
-    /// Persists the store as JSON-lines (one document per line).
-    pub fn save(&self, path: &std::path::Path) -> Result<()> {
-        let mut out = String::new();
-        for d in self.scan() {
-            out.push_str(&aryn_core::json::to_string(
-                &aryn_core::serialize::document_to_value(d),
-            ));
-            out.push('\n');
-        }
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| ArynError::Io(e.to_string()))?;
-        }
-        std::fs::write(path, out).map_err(|e| ArynError::Io(e.to_string()))
+    /// Opens (or creates) a durable store at `dir` with default configs.
+    /// See [`DocStore::open_with`].
+    pub fn open(dir: impl Into<PathBuf>, fs: Arc<dyn Vfs>) -> Result<DocStore> {
+        DocStore::open_with(dir, fs, StoreConfig::default(), WalConfig::default())
     }
 
-    /// Loads a store persisted by [`DocStore::save`].
-    pub fn load(path: &std::path::Path) -> Result<DocStore> {
-        let text = std::fs::read_to_string(path).map_err(|e| ArynError::Io(e.to_string()))?;
+    /// Opens a durable store: loads the manifest's segments, replays the
+    /// WAL's valid prefix into the memtable (truncating a torn tail), and
+    /// sweeps orphaned files. Recovery yields exactly the consistent prefix
+    /// of writes whose WAL records are durable — every acked write when
+    /// `wal.fsync` is on. Counters land in [`StoreStats`] (`wal_replayed`,
+    /// `torn_tail_truncated`, `segments_recovered`, `orphans_removed`).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        fs: Arc<dyn Vfs>,
+        config: StoreConfig,
+        wal: WalConfig,
+    ) -> Result<DocStore> {
+        let dir: PathBuf = dir.into();
+        fs.create_dir_all(&dir)?;
+        let mut store = DocStore::with_config(config);
+        let manifest_path = dir.join(MANIFEST);
+        let mut wal_seq = 0u64;
+        if fs.exists(&manifest_path) {
+            let text = vfs::read_to_string(&fs, &manifest_path)?;
+            let line = text
+                .lines()
+                .find(|l| !l.trim().is_empty())
+                .ok_or_else(|| ArynError::Io(format!("{}: empty", manifest_path.display())))?;
+            let (tag, payload) = vfs::decode_record(line)?;
+            if tag != 'm' {
+                return Err(ArynError::Io(format!(
+                    "{}: not a manifest (tag {tag:?})",
+                    manifest_path.display()
+                )));
+            }
+            let v = aryn_core::json::parse(payload)?;
+            let seg_ids: Vec<u64> = v
+                .get("segments")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().filter_map(Value::as_int).map(|i| i as u64).collect())
+                .unwrap_or_default();
+            wal_seq = v.get("wal").and_then(Value::as_int).unwrap_or(0) as u64;
+            store.next_segment = v.get("next_segment").and_then(Value::as_int).unwrap_or(0) as u64;
+            for id in seg_ids {
+                let docs = load_segment(&fs, &dir, id)?;
+                store.segments.push(Arc::new(Segment { id, docs }));
+                store.stats.segments_recovered += 1;
+            }
+            // Rebuild live count + schema from segment-visible docs in one
+            // layered pass (the WAL replay below then applies clean deltas).
+            let empty: Layer = BTreeMap::new();
+            let mut live = 0usize;
+            for d in layered_scan(&empty, &store.segments) {
+                adjust_schema(&mut store.schema_types, "", &d.properties, 1);
+                live += 1;
+            }
+            store.live = live;
+            store.replay_wal(&fs, &dir.join(wal_name(wal_seq)))?;
+        } else {
+            // Fresh directory: persist an empty manifest immediately so a
+            // crash before the first seal still reopens cleanly.
+            write_manifest(&fs, &dir, &[], 0, 0)?;
+        }
+        // Sweep files the manifest no longer names: staged temps, retired
+        // WALs, compacted-away segments. Only our own name shapes.
+        let keep_wal = wal_name(wal_seq);
+        let live_segs: std::collections::BTreeSet<String> =
+            store.segments.iter().map(|s| seg_name(s.id)).collect();
+        for name in fs.list(&dir)? {
+            if name == MANIFEST || name == keep_wal || live_segs.contains(&name) {
+                continue;
+            }
+            if name.starts_with("wal-") || name.starts_with("seg-") || name.ends_with(".tmp") {
+                let _ = fs.remove(&dir.join(&name));
+                store.stats.orphans_removed += 1;
+            }
+        }
+        store.durable = Some(Durable {
+            vfs: fs,
+            dir,
+            fsync: wal.fsync,
+            wal_seq,
+            wal_dirty: false,
+        });
+        // The replayed memtable may already exceed the seal threshold.
+        if store.config.seal_threshold > 0
+            && store.mem.len() >= store.config.seal_threshold
+            && store.try_seal().is_err()
+        {
+            store.stats.io_errors += 1;
+        }
+        Ok(store)
+    }
+
+    /// Replays the WAL's valid record prefix; a torn or corrupt tail is
+    /// truncated away with an atomic rewrite (the tail was never acked).
+    fn replay_wal(&mut self, fs: &Arc<dyn Vfs>, wal_path: &Path) -> Result<()> {
+        if !fs.exists(wal_path) {
+            return Ok(());
+        }
+        let data = fs.read(wal_path)?;
+        let text = String::from_utf8_lossy(&data);
+        let mut good = String::new();
+        let mut records: Vec<(char, String)> = Vec::new();
+        let mut dropped = 0usize;
+        for chunk in text.split_inclusive('\n') {
+            let parsed = chunk
+                .strip_suffix('\n')
+                .and_then(|line| vfs::decode_record(line).ok())
+                .filter(|(tag, _)| matches!(tag, 'p' | 'd'));
+            match parsed {
+                Some((tag, payload)) => {
+                    records.push((tag, payload.to_string()));
+                    good.push_str(chunk);
+                }
+                None => {
+                    // First bad chunk: everything from here is the torn
+                    // tail (appends are strictly ordered).
+                    dropped = 1;
+                    break;
+                }
+            }
+        }
+        if dropped > 0 {
+            vfs::atomic_write(fs, wal_path, good.as_bytes())?;
+            self.stats.torn_tail_truncated += dropped;
+        }
+        for (tag, payload) in records {
+            match tag {
+                'p' => {
+                    let v = aryn_core::json::parse(&payload)?;
+                    self.apply_put(aryn_core::serialize::document_from_value(&v)?);
+                }
+                _ => {
+                    let v = aryn_core::json::parse(&payload)?;
+                    let id = v
+                        .as_str()
+                        .ok_or_else(|| ArynError::Io(format!("bad delete record {payload:?}")))?;
+                    if layered_lookup(&self.mem, &self.segments, id).is_some() {
+                        self.apply_delete(id);
+                    }
+                }
+            }
+            self.stats.wal_replayed += 1;
+        }
+        Ok(())
+    }
+
+    /// Persists a point-in-time copy of the store as a single checksummed
+    /// file: per-record CRCs plus a count footer, staged through a temp
+    /// file and renamed into place — a crash mid-save leaves the previous
+    /// copy intact. (Unrelated to the WAL: this is the whole-store
+    /// export/import path.)
+    pub fn save(&self, path: &Path) -> Result<()> {
+        self.save_on(&StdFs, path)
+    }
+
+    /// [`DocStore::save`] through an explicit VFS.
+    pub fn save_on(&self, fs: &dyn Vfs, path: &Path) -> Result<()> {
+        let records: Vec<(char, String)> = self
+            .scan()
+            .map(|d| {
+                (
+                    's',
+                    aryn_core::json::to_string(&aryn_core::serialize::document_to_value(d)),
+                )
+            })
+            .collect();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs.create_dir_all(parent)?;
+            }
+        }
+        vfs::atomic_write(fs, path, vfs::encode_tagged_file(&records).as_bytes())
+    }
+
+    /// Loads a store persisted by [`DocStore::save`]. Verifies every record
+    /// CRC and the footer count; also accepts the legacy plain-JSONL format.
+    pub fn load(path: &Path) -> Result<DocStore> {
+        DocStore::load_on(&StdFs, path)
+    }
+
+    /// [`DocStore::load`] through an explicit VFS.
+    pub fn load_on(fs: &dyn Vfs, path: &Path) -> Result<DocStore> {
+        let text = vfs::read_to_string(fs, path)?;
         let mut store = DocStore::new();
-        for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            let v = aryn_core::json::parse(line)?;
-            store.put(aryn_core::serialize::document_from_value(&v)?);
+        let legacy = text
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .is_none_or(|l| l.trim_start().starts_with('{'));
+        if legacy {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let v = aryn_core::json::parse(line)?;
+                store.put(aryn_core::serialize::document_from_value(&v)?);
+            }
+        } else {
+            for (tag, payload) in vfs::decode_tagged_file(&text)? {
+                if tag != 's' {
+                    return Err(ArynError::Io(format!(
+                        "{}: unexpected record tag {tag:?}",
+                        path.display()
+                    )));
+                }
+                let v = aryn_core::json::parse(&payload)?;
+                store.put(aryn_core::serialize::document_from_value(&v)?);
+            }
         }
         Ok(store)
     }
@@ -1055,6 +1548,234 @@ mod lsm_tests {
         s.compact();
         assert_eq!(s.get("x").unwrap().prop("n").unwrap().as_int(), Some(3));
         assert_eq!(s.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+    use aryn_core::obj;
+    use aryn_core::vfs::{ChaosFs, MemFs, StorageFault, StorageSchedule};
+
+    fn doc(id: &str, n: i64) -> Document {
+        let mut d = Document::new(id);
+        d.properties = obj! { "n" => n, "bucket" => (n % 3).to_string() };
+        d
+    }
+
+    fn cfg() -> StoreConfig {
+        StoreConfig {
+            seal_threshold: 4,
+            compact_fanout: 3,
+        }
+    }
+
+    #[test]
+    fn open_put_reopen_recovers_everything() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemFs::new());
+        let dir = Path::new("/store");
+        let mut s = DocStore::open_with(dir, mem.clone(), cfg(), WalConfig::default()).unwrap();
+        assert!(s.is_durable());
+        assert!(s.wal_fsync());
+        assert_eq!(s.dir(), Some(dir));
+        for i in 0..10 {
+            s.try_put(doc(&format!("d{i:02}"), i)).unwrap();
+        }
+        s.try_delete("d03").unwrap();
+        assert!(s.stats().seals > 0);
+        let want: Vec<(String, i64)> = s
+            .scan()
+            .map(|d| (d.id.0.clone(), d.prop("n").unwrap().as_int().unwrap()))
+            .collect();
+        let schema = s.schema();
+        drop(s);
+
+        let r = DocStore::open_with(dir, mem, cfg(), WalConfig::default()).unwrap();
+        let got: Vec<(String, i64)> = r
+            .scan()
+            .map(|d| (d.id.0.clone(), d.prop("n").unwrap().as_int().unwrap()))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(r.schema(), schema, "schema rebuilt from segments + wal");
+        assert!(r.stats().segments_recovered > 0);
+        assert!(r.get("d03").is_none());
+        assert_eq!(r.schema_scan_count(), 0);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_not_fatal() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemFs::new());
+        let dir = Path::new("/store");
+        let mut s = DocStore::open_with(
+            dir,
+            mem.clone(),
+            StoreConfig {
+                seal_threshold: 0,
+                compact_fanout: 0,
+            },
+            WalConfig::default(),
+        )
+        .unwrap();
+        s.try_put(doc("a", 1)).unwrap();
+        s.try_put(doc("b", 2)).unwrap();
+        drop(s);
+        // Tear the log mid-record, as a crash during an append would.
+        let wal = dir.join(wal_name(0));
+        let mut bytes = mem.read(&wal).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        mem.write(&wal, &bytes).unwrap();
+
+        let r = DocStore::open(dir, mem.clone()).unwrap();
+        assert_eq!(r.len(), 1, "only the intact record survives");
+        assert!(r.get("a").is_some());
+        assert_eq!(r.stats().wal_replayed, 1);
+        assert_eq!(r.stats().torn_tail_truncated, 1);
+        drop(r);
+        // The truncation is physical: a second open replays cleanly.
+        let r2 = DocStore::open(dir, mem).unwrap();
+        assert_eq!(r2.stats().torn_tail_truncated, 0);
+        assert_eq!(r2.len(), 1);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_replay_twice_equals_once() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemFs::new());
+        let dir = Path::new("/store");
+        let mut s = DocStore::open_with(dir, mem.clone(), cfg(), WalConfig::default()).unwrap();
+        for i in 0..9 {
+            s.try_put(doc(&format!("d{i}"), i)).unwrap();
+        }
+        s.try_delete("d2").unwrap();
+        s.try_put(doc("d5", 50)).unwrap();
+        drop(s);
+        let pass = |fs: Arc<dyn Vfs>| {
+            let r = DocStore::open_with(dir, fs, cfg(), WalConfig::default()).unwrap();
+            let rows: Vec<(String, i64)> = r
+                .scan()
+                .map(|d| (d.id.0.clone(), d.prop("n").unwrap().as_int().unwrap()))
+                .collect();
+            (rows, r.schema(), r.len())
+        };
+        let first = pass(mem.clone());
+        let second = pass(mem);
+        assert_eq!(first, second, "open is a pure function of the disk image");
+    }
+
+    #[test]
+    fn unsynced_wal_allows_prefix_loss_never_corruption() {
+        // fsync off: a crash may lose the volatile tail, but recovery still
+        // yields a clean prefix of submitted writes.
+        let inner = Arc::new(MemFs::new());
+        let chaos: Arc<dyn Vfs> = Arc::new(ChaosFs::wrap(
+            inner.clone(),
+            StorageSchedule::calm().with_crash_at(14).with_seed(3),
+        ));
+        let dir = Path::new("/store");
+        let mut s = DocStore::open_with(
+            dir,
+            chaos,
+            StoreConfig {
+                seal_threshold: 0,
+                compact_fanout: 0,
+            },
+            WalConfig { fsync: false },
+        )
+        .unwrap();
+        let mut submitted = Vec::new();
+        for i in 0..40 {
+            let id = format!("d{i:02}");
+            if s.try_put(doc(&id, i)).is_err() {
+                break;
+            }
+            submitted.push(id);
+        }
+        assert!(submitted.len() < 40, "crash interrupted the run");
+        let r = DocStore::open(dir, inner).unwrap();
+        let got: Vec<String> = r.scan().map(|d| d.id.0.clone()).collect();
+        assert!(got.len() <= submitted.len());
+        assert_eq!(got[..], submitted[..got.len()], "recovered = clean prefix");
+    }
+
+    #[test]
+    fn enospc_put_is_not_acked_and_store_stays_usable() {
+        let mem: Arc<dyn Vfs> = Arc::new(MemFs::new());
+        let chaos: Arc<dyn Vfs> = Arc::new(ChaosFs::wrap(
+            mem.clone(),
+            // Ops 0..2 are open's mkdir + fresh manifest write; fault the
+            // first puts after that.
+            StorageSchedule::calm().with_window(StorageFault::Enospc, 4, 2),
+        ));
+        let dir = Path::new("/store");
+        let mut s = DocStore::open_with(
+            dir,
+            chaos,
+            StoreConfig {
+                seal_threshold: 0,
+                compact_fanout: 0,
+            },
+            WalConfig { fsync: false },
+        )
+        .unwrap();
+        let mut acked = 0;
+        let mut rejected = 0;
+        for i in 0..6 {
+            match s.try_put(doc(&format!("d{i}"), i)) {
+                Ok(()) => acked += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        assert!(rejected > 0, "ENOSPC must reject some puts");
+        assert_eq!(s.len(), acked, "rejected puts never mutate memory");
+        assert_eq!(s.stats().io_errors, rejected);
+        drop(s);
+        let r = DocStore::open(dir, mem).unwrap();
+        assert_eq!(r.len(), acked, "exactly the acked puts recover");
+    }
+
+    #[test]
+    fn save_is_atomic_under_crash() {
+        let mem = Arc::new(MemFs::new());
+        let mut s = DocStore::new();
+        for i in 0..3 {
+            s.put(doc(&format!("d{i}"), i));
+        }
+        let path = Path::new("/exports/store.dat");
+        s.save_on(&*mem, path).unwrap();
+        let before = mem.read(path).unwrap();
+        s.put(doc("d9", 9));
+        // save = create_dir_all + write tmp + sync + rename: crash at every
+        // point must leave the old export intact or the new one complete.
+        for k in 0..4u64 {
+            let fs = ChaosFs::wrap(
+                mem.clone(),
+                StorageSchedule::calm().with_crash_at(k).with_seed(k),
+            );
+            assert!(s.save_on(&fs, path).is_err());
+            let img = mem.read(path).unwrap();
+            let loaded = DocStore::load_on(&*mem, path).unwrap();
+            assert!(
+                img == before || loaded.len() == 4,
+                "crash at op {k}: torn export"
+            );
+            // Reset for the next crash point.
+            mem.write(path, &before).unwrap();
+        }
+        s.save_on(&*mem, path).unwrap();
+        assert_eq!(DocStore::load_on(&*mem, path).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn load_detects_bitflips_in_checksummed_format() {
+        let mem = MemFs::new();
+        let mut s = DocStore::new();
+        s.put(doc("a", 1));
+        let path = Path::new("/x/store.dat");
+        s.save_on(&mem, path).unwrap();
+        let mut bytes = mem.read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        mem.write(path, &bytes).unwrap();
+        assert!(DocStore::load_on(&mem, path).is_err(), "bitflip must fail the CRC");
     }
 }
 

@@ -17,7 +17,7 @@ pub mod vector;
 
 pub use docstore::{
     Catalog, CompiledPredicate, DocStore, Predicate, Segment, StoreConfig, StoreSnapshot,
-    StoreStats,
+    StoreStats, WalConfig,
 };
 pub use graph::{Edge, GraphNode, GraphStore};
 pub use hybrid::{fuse_hits, rrf_fuse, RRF_K};

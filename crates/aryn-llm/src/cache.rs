@@ -27,11 +27,11 @@
 //! must not be memoized.
 
 use crate::model::Usage;
+use aryn_core::vfs::{self, StdFs, Vfs};
 use aryn_core::{json, obj, stable_hash, Result, Value};
 use std::collections::{HashMap, HashSet};
-use std::io::Write;
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Stable fingerprint of one logical completion call.
 ///
@@ -184,9 +184,16 @@ pub struct LlmCallCache {
     /// Wakes single-flight waiters when any in-flight call completes.
     flights: Condvar,
     capacity: usize,
-    /// Disk tier: append path, serialized by its own lock so concurrent
-    /// inserts do not interleave lines.
-    disk: Option<Mutex<PathBuf>>,
+    /// Disk tier, serialized by its own lock so concurrent inserts do not
+    /// interleave lines.
+    disk: Option<Mutex<DiskTier>>,
+}
+
+/// The JSONL disk tier: an append path plus the VFS it goes through, so
+/// storage chaos (torn appends, ENOSPC, crash points) covers the cache too.
+struct DiskTier {
+    path: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl std::fmt::Debug for LlmCallCache {
@@ -235,19 +242,46 @@ impl LlmCallCache {
     /// `{dir}/llm_cache.jsonl` are loaded into the LRU, and every new insert
     /// is appended, so a later process (or a second `Context`) warm-starts
     /// from the same file.
-    pub fn with_disk(mut self, dir: impl Into<PathBuf>) -> Result<LlmCallCache> {
+    pub fn with_disk(self, dir: impl Into<PathBuf>) -> Result<LlmCallCache> {
+        self.with_disk_on(Arc::new(StdFs), dir)
+    }
+
+    /// [`with_disk`](Self::with_disk) through an explicit VFS, so storage
+    /// chaos covers cache IO. New entries append as checksummed records
+    /// (`c <crc32> <json>`); loading verifies each line, skips-and-counts
+    /// corrupt ones mid-file, physically truncates a corrupt *tail* (the
+    /// crash-mid-append shape) with an atomic rewrite, and still accepts
+    /// the legacy plain-JSONL format.
+    pub fn with_disk_on(
+        mut self,
+        fs: Arc<dyn Vfs>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<LlmCallCache> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
         let path = dir.join("llm_cache.jsonl");
-        if path.exists() {
-            let text = std::fs::read_to_string(&path)?;
+        if fs.exists(&path) {
+            let text = vfs::read_to_string(&fs, &path)?;
             let mut g = lock(&self.inner);
-            for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                // A crash mid-append leaves a truncated (or otherwise
-                // corrupt) line. Skip and count it; the rest of the file is
-                // still good — the cache is a performance layer, not a
-                // source of truth.
-                let Ok(v) = json::parse(line) else {
+            // Bytes of the prefix ending at the last good line: anything
+            // after it is the corrupt tail a crashed append left behind.
+            let mut good_end = 0usize;
+            let mut offset = 0usize;
+            for chunk in text.split_inclusive('\n') {
+                let start = offset;
+                offset += chunk.len();
+                let line = chunk.strip_suffix('\n').unwrap_or(chunk);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // Checksummed record or legacy plain JSON, per line.
+                let parsed = match vfs::decode_record(line) {
+                    Ok(('c', payload)) => json::parse(payload).ok(),
+                    Ok(_) => None,
+                    Err(_) if line.trim_start().starts_with('{') => json::parse(line).ok(),
+                    Err(_) => None,
+                };
+                let Some(v) = parsed else {
                     g.stats.corrupt_entries += 1;
                     continue;
                 };
@@ -259,6 +293,7 @@ impl LlmCallCache {
                     g.stats.corrupt_entries += 1;
                     continue;
                 };
+                good_end = start + chunk.len();
                 let entry = CachedCall {
                     text: v
                         .get("text")
@@ -284,9 +319,39 @@ impl LlmCallCache {
                 g.entries.insert(key, CachedCall { last_used: tick, ..entry });
                 evict_over_capacity(&mut g, self.capacity);
             }
+            if good_end < text.len() {
+                // Truncate the corrupt tail so the next append starts on a
+                // clean line boundary instead of concatenating onto junk.
+                let _ = vfs::atomic_write(&fs, &path, &text.as_bytes()[..good_end]);
+            }
+            drop(g);
         }
-        self.disk = Some(Mutex::new(path));
+        self.disk = Some(Mutex::new(DiskTier { path, vfs: fs }));
         Ok(self)
+    }
+
+    /// Rewrites the disk tier to exactly the live in-memory entries (atomic
+    /// temp→sync→rename): drops corrupt mid-file lines, superseded
+    /// duplicates, and evicted entries. Returns the number of entries
+    /// written; no-op `Ok(0)` without a disk tier.
+    pub fn compact_disk(&self) -> Result<usize> {
+        let Some(disk) = &self.disk else {
+            return Ok(0);
+        };
+        let tier = lock(disk);
+        let g = lock(&self.inner);
+        let mut keys: Vec<u64> = g.entries.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = String::new();
+        for key in &keys {
+            if let Some(entry) = g.entries.get(key) {
+                out.push_str(&encode_disk_line(*key, &entry.text, entry.usage));
+            }
+        }
+        let n = keys.len();
+        drop(g);
+        vfs::atomic_write(&tier.vfs, &tier.path, out.as_bytes())?;
+        Ok(n)
     }
 
     pub fn capacity(&self) -> usize {
@@ -459,26 +524,28 @@ impl LlmCallCache {
     }
 
     /// Appends one entry to the disk tier. Disk trouble degrades the cache
-    /// to memory-only rather than failing the call that produced the result.
-    fn append_disk(&self, disk: &Mutex<PathBuf>, key: CacheKey, out: &CacheOutcome) {
-        let path = lock(disk);
-        let line = json::to_string(&obj! {
-            "key" => format!("{:016x}", key.0),
-            "text" => out.text.as_str(),
-            "input_tokens" => out.usage.input_tokens as i64,
-            "output_tokens" => out.usage.output_tokens as i64,
-            "cost_usd" => out.usage.cost_usd,
-            "latency_ms" => out.usage.latency_ms
-        });
-        let written = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&*path)
-            .and_then(|mut f| writeln!(f, "{line}"));
-        if let Err(e) = written {
+    /// to memory-only rather than failing the call that produced the result
+    /// (a torn append leaves a corrupt tail the next load truncates away).
+    fn append_disk(&self, disk: &Mutex<DiskTier>, key: CacheKey, out: &CacheOutcome) {
+        let tier = lock(disk);
+        let line = encode_disk_line(key.0, &out.text, out.usage);
+        if let Err(e) = tier.vfs.append(&tier.path, line.as_bytes()) {
             eprintln!("llm cache: disk tier append failed ({e}); continuing in-memory");
         }
     }
+}
+
+/// One checksummed disk-tier line (newline-terminated).
+fn encode_disk_line(key: u64, text: &str, usage: Usage) -> String {
+    let payload = json::to_string(&obj! {
+        "key" => format!("{key:016x}"),
+        "text" => text,
+        "input_tokens" => usage.input_tokens as i64,
+        "output_tokens" => usage.output_tokens as i64,
+        "cost_usd" => usage.cost_usd,
+        "latency_ms" => usage.latency_ms
+    });
+    format!("{}\n", vfs::encode_record('c', &payload))
 }
 
 /// Evicts least-recently-used entries until the store fits `capacity`.
@@ -721,6 +788,97 @@ mod tests {
             .unwrap()
             .hit);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_is_physically_truncated_on_load() {
+        use aryn_core::vfs::MemFs;
+        use std::path::Path;
+        let fs = Arc::new(MemFs::new());
+        let dir = Path::new("/cache");
+        let cache = LlmCallCache::with_capacity(8)
+            .with_disk_on(fs.clone(), dir)
+            .unwrap();
+        let k1 = CacheKey::for_call("m", "p", 64, 0.0);
+        cache.get_or_compute(k1, || Ok(("v".into(), usage(0.1)))).unwrap();
+        drop(cache);
+        let path = dir.join("llm_cache.jsonl");
+        let clean_len = fs.read(&path).unwrap().len();
+        // A crash mid-append leaves a partial record with no newline.
+        fs.append(&path, b"c 1a2b3c4d {\"key\": \"00").unwrap();
+        let warm = LlmCallCache::with_capacity(8)
+            .with_disk_on(fs.clone(), dir)
+            .unwrap();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm.stats().corrupt_entries, 1);
+        assert_eq!(
+            fs.read(&path).unwrap().len(),
+            clean_len,
+            "the torn tail is truncated away, not just skipped"
+        );
+        // Post-truncation appends land on a clean line boundary.
+        warm.insert(CacheKey::for_call("m", "q", 64, 0.0), "w".into(), usage(0.1));
+        drop(warm);
+        let again = LlmCallCache::with_capacity(8).with_disk_on(fs, dir).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again.stats().corrupt_entries, 0, "truncation was physical");
+    }
+
+    #[test]
+    fn compact_disk_drops_dead_lines_atomically() {
+        use aryn_core::vfs::{MemFs, Vfs};
+        use std::path::Path;
+        let fs = Arc::new(MemFs::new());
+        let dir = Path::new("/cache");
+        let cache = LlmCallCache::with_capacity(2)
+            .with_disk_on(fs.clone(), dir)
+            .unwrap();
+        let k = |i: usize| CacheKey::for_call("m", &format!("p{i}"), 64, 0.0);
+        for i in 0..3 {
+            cache
+                .get_or_compute(k(i), || Ok((format!("v{i}"), usage(0.1))))
+                .unwrap();
+        }
+        let path = dir.join("llm_cache.jsonl");
+        // Append-only tier holds all 3 lines; memory holds the live 2.
+        let lines = |b: Vec<u8>| String::from_utf8(b).unwrap().lines().count();
+        assert_eq!(lines(fs.read(&path).unwrap()), 3);
+        assert_eq!(cache.compact_disk().unwrap(), 2);
+        assert_eq!(lines(fs.read(&path).unwrap()), 2);
+        drop(cache);
+        let warm = LlmCallCache::with_capacity(8).with_disk_on(fs, dir).unwrap();
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.stats().corrupt_entries, 0);
+        assert!(warm
+            .get_or_compute(k(2), || panic!("compacted entry must survive"))
+            .unwrap()
+            .hit);
+    }
+
+    #[test]
+    fn checksummed_lines_detect_bitflips() {
+        use aryn_core::vfs::MemFs;
+        use std::path::Path;
+        let fs = Arc::new(MemFs::new());
+        let dir = Path::new("/cache");
+        let cache = LlmCallCache::with_capacity(8)
+            .with_disk_on(fs.clone(), dir)
+            .unwrap();
+        let k = CacheKey::for_call("m", "p", 64, 0.0);
+        cache
+            .get_or_compute(k, || Ok(("honest value".into(), usage(0.1))))
+            .unwrap();
+        drop(cache);
+        let path = dir.join("llm_cache.jsonl");
+        let mut bytes = fs.read(&path).unwrap();
+        // Flip one payload byte: plain JSONL would load the mangled text,
+        // the CRC rejects it.
+        let pos = bytes.len() - 20;
+        bytes[pos] ^= 0x02;
+        fs.write(&path, &bytes).unwrap();
+        let warm = LlmCallCache::with_capacity(8).with_disk_on(fs, dir).unwrap();
+        assert_eq!(warm.len(), 0);
+        assert_eq!(warm.stats().corrupt_entries, 1);
     }
 
     #[test]

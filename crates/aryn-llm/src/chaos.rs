@@ -15,6 +15,7 @@
 
 use crate::model::{LanguageModel, LlmRequest, LlmResponse};
 use aryn_core::{stable_hash, ArynError, Result};
+pub use aryn_core::vfs::{StorageFault, StorageSchedule, StorageWindow};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -91,6 +92,12 @@ pub struct ChaosSchedule {
     pub timeout_inflation_ms: f64,
     /// How windows are mapped onto calls (arrival order by default).
     pub keying: ChaosKeying,
+    /// Storage-fault plan riding alongside the LLM faults: torn writes,
+    /// short reads, ENOSPC, and crash points over IO-op indices.
+    /// `Context::set_chaos` wraps the session VFS in a `ChaosFs` when this
+    /// is non-calm. Always calm from [`ChaosSchedule::from_seed`]; attach
+    /// explicitly via [`ChaosSchedule::with_storage`].
+    pub storage: StorageSchedule,
 }
 
 impl ChaosSchedule {
@@ -122,6 +129,7 @@ impl ChaosSchedule {
             windows,
             timeout_inflation_ms: 60_000.0,
             keying: ChaosKeying::CallIndex,
+            storage: StorageSchedule::calm(),
         }
     }
 
@@ -133,6 +141,12 @@ impl ChaosSchedule {
 
     pub fn with_timeout_inflation(mut self, ms: f64) -> ChaosSchedule {
         self.timeout_inflation_ms = ms;
+        self
+    }
+
+    /// Attaches a storage-fault schedule (see [`StorageSchedule`]).
+    pub fn with_storage(mut self, storage: StorageSchedule) -> ChaosSchedule {
+        self.storage = storage;
         self
     }
 
@@ -158,7 +172,7 @@ impl ChaosSchedule {
     }
 
     pub fn is_calm(&self) -> bool {
-        self.windows.is_empty()
+        self.windows.is_empty() && self.storage.is_calm()
     }
 }
 

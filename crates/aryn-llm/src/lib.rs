@@ -23,7 +23,9 @@ pub mod semantics;
 
 pub use batch::{run_batched, BatchConfig, BatchReport};
 pub use cache::{CacheKey, CacheStats, LlmCallCache};
-pub use chaos::{ChaosKeying, ChaosModel, ChaosSchedule, FaultKind, FaultWindow};
+pub use chaos::{
+    ChaosKeying, ChaosModel, ChaosSchedule, FaultKind, FaultWindow, StorageFault, StorageSchedule,
+};
 pub use client::{DegradedJson, LlmClient, RetryPolicy, UsageMeter, UsageStats};
 pub use reliability::{
     BreakerBoard, BreakerState, CircuitBreaker, ReliabilityPolicy, ReliabilitySlot,

@@ -1,0 +1,188 @@
+//! E20 — durability & crash recovery (DESIGN.md §5k): WAL overhead on the
+//! streaming-ingestion path and replay time at reopen. Reports docs/sec
+//! with and without the fsync charge (and against the in-memory store),
+//! the virtual-clock overhead durable acks add per arrival, WAL bytes per
+//! document, and wall-clock replay time for a WAL-heavy reopen — then
+//! crash-checks a handful of seeded points end to end.
+//!
+//! Run with: `cargo bench -p bench --bench recovery`
+//! Smoke mode (CI): `RECOVERY_SMOKE=1 cargo bench -p bench --bench recovery`
+
+use aryn::aryn_core::vfs::{ChaosFs, MemFs, StorageSchedule, Vfs};
+use aryn::aryn_docgen::DocStream;
+use aryn::aryn_index::{DocStore, StoreConfig, WalConfig};
+use aryn::sycamore::{Context, IngestConfig, Ingestor};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 11;
+const ARRIVAL_MS: f64 = 5.0;
+
+struct StreamRun {
+    docs_per_sec: f64,
+    p50_lag_ms: f64,
+    wal_bytes: usize,
+}
+
+/// Streams `n` docs into a store; `durable` opens it through a MemFs (so
+/// the bench measures WAL protocol cost, not host-disk noise) with the
+/// given fsync setting; otherwise the store is purely in-memory.
+fn stream(n: usize, durable: Option<bool>) -> StreamRun {
+    let mem: Arc<MemFs> = Arc::new(MemFs::new());
+    let ctx = Context::new();
+    ctx.set_vfs(mem.clone() as Arc<dyn Vfs>);
+    if let Some(fsync) = durable {
+        ctx.open_store(
+            "stream",
+            "/bench/stream",
+            StoreConfig::default(),
+            WalConfig { fsync },
+        )
+        .unwrap();
+    }
+    let mut ing = Ingestor::new(&ctx, "stream", IngestConfig { embed: false, ..IngestConfig::default() });
+    let mut feed = DocStream::ntsb(SEED, n, ARRIVAL_MS);
+    let started = Instant::now();
+    while let Some((doc, at)) = feed.next_arrival() {
+        ing.ingest_at(doc, at).unwrap();
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let wal_bytes = mem
+        .file_names()
+        .iter()
+        .filter(|p| p.contains("/wal-"))
+        .map(|p| mem.read(std::path::Path::new(p)).map(|b| b.len()).unwrap_or(0))
+        .sum();
+    StreamRun {
+        docs_per_sec: n as f64 / wall.max(1e-9),
+        p50_lag_ms: ing.report().p50_lag_ms,
+        wal_bytes,
+    }
+}
+
+/// Replay cost: fill a WAL-heavy directory (threshold high enough that
+/// most docs sit in the WAL, not sealed segments), then time `open`.
+fn replay(n: usize, report: &mut String) {
+    let mem: Arc<dyn Vfs> = Arc::new(MemFs::new());
+    let mut store = DocStore::open_with(
+        "/bench/replay",
+        mem.clone(),
+        StoreConfig { seal_threshold: n * 2, compact_fanout: 4 },
+        WalConfig { fsync: false },
+    )
+    .unwrap();
+    let mut feed = DocStream::ntsb(SEED, n, ARRIVAL_MS);
+    while let Some((doc, _)) = feed.next_arrival() {
+        store.try_put(doc).unwrap();
+    }
+    drop(store); // no clean close: everything recovers from the WAL
+    let started = Instant::now();
+    let recovered = DocStore::open("/bench/replay", mem).unwrap();
+    let replay_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stats = recovered.stats();
+    assert_eq!(recovered.len(), n, "replay lost documents");
+    let _ = writeln!(
+        report,
+        "replay: {n} docs from WAL in {replay_ms:.1} ms  ({:.0} docs/sec replayed, {} wal records, {} segments)",
+        n as f64 / (replay_ms / 1e3).max(1e-9),
+        stats.wal_replayed,
+        stats.segments_recovered,
+    );
+}
+
+/// Seeded crash points, end to end: ingest under a ChaosFs crash, reopen
+/// the surviving image, and require a consistent recovered store.
+fn crash_checks(n: usize, report: &mut String) {
+    let mut checked = 0usize;
+    for seed in [1u64, 2, 3] {
+        let mem: Arc<MemFs> = Arc::new(MemFs::new());
+        let crash_at = aryn::aryn_core::stable_hash(seed, &["bench-crash"]) % (n as u64 * 2);
+        let chaos: Arc<dyn Vfs> = Arc::new(ChaosFs::wrap(
+            mem.clone(),
+            StorageSchedule::calm().with_seed(seed).with_crash_at(crash_at),
+        ));
+        let mut acked: Vec<String> = Vec::new();
+        if let Ok(mut store) = DocStore::open_with(
+            "/bench/crash",
+            chaos,
+            StoreConfig { seal_threshold: 16, compact_fanout: 2 },
+            WalConfig { fsync: true },
+        ) {
+            let mut feed = DocStream::ntsb(seed, n, ARRIVAL_MS);
+            while let Some((doc, _)) = feed.next_arrival() {
+                let id = doc.id.0.clone();
+                if store.try_put(doc).is_err() {
+                    break;
+                }
+                acked.push(id);
+            }
+        }
+        let recovered = DocStore::open("/bench/crash", mem as Arc<dyn Vfs>).unwrap();
+        let ids: std::collections::BTreeSet<String> =
+            recovered.scan().map(|d| d.id.0.clone()).collect();
+        for id in &acked {
+            assert!(ids.contains(id), "seed {seed}: acked {id} lost after crash@{crash_at}");
+        }
+        assert!(ids.len() <= acked.len() + 1, "seed {seed}: recovered unacked writes");
+        checked += 1;
+    }
+    let _ = writeln!(report, "crash checks: {checked} seeded crash points recovered consistently");
+}
+
+fn main() {
+    let smoke = std::env::var_os("RECOVERY_SMOKE").is_some();
+    let n = if smoke { 500usize } else { 5_000usize };
+    println!("E20: durability — WAL overhead and crash recovery\n");
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "corpus: {n} ntsb docs arriving every {ARRIVAL_MS} virtual ms{}",
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let memory = stream(n, None);
+    let wal = stream(n, Some(false));
+    let wal_fsync = stream(n, Some(true));
+    let _ = writeln!(
+        report,
+        "in-memory:   {:.0} docs/sec  (p50 index lag {:.1} ms)",
+        memory.docs_per_sec, memory.p50_lag_ms,
+    );
+    let _ = writeln!(
+        report,
+        "wal, no fsync: {:.0} docs/sec  (p50 index lag {:.1} ms, wal {} bytes, {:.1} B/doc)",
+        wal.docs_per_sec,
+        wal.p50_lag_ms,
+        wal.wal_bytes,
+        wal.wal_bytes as f64 / n as f64,
+    );
+    let _ = writeln!(
+        report,
+        "wal + fsync:  {:.0} docs/sec  (p50 index lag {:.1} ms)",
+        wal_fsync.docs_per_sec, wal_fsync.p50_lag_ms,
+    );
+    let overhead_wal = wal.p50_lag_ms - memory.p50_lag_ms;
+    let overhead_fsync = wal_fsync.p50_lag_ms - memory.p50_lag_ms;
+    let _ = writeln!(
+        report,
+        "wal overhead (virtual): {overhead_wal:.2} ms/doc without fsync, {overhead_fsync:.2} ms/doc with",
+    );
+    assert!(overhead_fsync > overhead_wal, "fsync charge missing from the clock");
+    assert!(overhead_wal > 0.0, "wal charge missing from the clock");
+
+    replay(n, &mut report);
+    crash_checks(if smoke { 100 } else { 400 }, &mut report);
+    print!("{report}");
+
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create bench_results/: {e}");
+        return;
+    }
+    let path = dir.join("recovery.txt");
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("\nreport exported to {}", path.display()),
+        Err(e) => eprintln!("report export failed: {e}"),
+    }
+}

@@ -489,6 +489,22 @@ impl PlanExecutor {
                 .set("ingest_compactions", stream.compactions() as u64)
                 .gauge("index_lag_ms", stream.last_lag_ms())
                 .gauge("index_lag_max_ms", stream.max_lag_ms());
+            // Durability/recovery counters, nonzero-only: in-memory stores
+            // (and pre-durability traces) keep their fingerprints.
+            if let Ok(stats) = self.ctx.with_store(index, |s| s.stats()) {
+                for (key, n) in [
+                    ("wal_appends", stats.wal_appends),
+                    ("wal_replayed", stats.wal_replayed),
+                    ("torn_tail_truncated", stats.torn_tail_truncated),
+                    ("segments_recovered", stats.segments_recovered),
+                    ("orphans_removed", stats.orphans_removed),
+                    ("storage_io_errors", stats.io_errors),
+                ] {
+                    if n > 0 {
+                        span.set(key, n as u64);
+                    }
+                }
+            }
             span.finish();
         }
     }

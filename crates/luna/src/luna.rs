@@ -879,6 +879,24 @@ impl LunaAnswer {
                 sp.gauge("index_lag_ms"),
                 sp.gauge("index_lag_max_ms"),
             ));
+            // Durable stores add a recovery line when anything happened:
+            // WAL traffic, replay at open, torn-tail truncation, or faults.
+            let recovery = [
+                ("wal appends", sp.counter("wal_appends")),
+                ("wal replayed", sp.counter("wal_replayed")),
+                ("torn tails truncated", sp.counter("torn_tail_truncated")),
+                ("segments recovered", sp.counter("segments_recovered")),
+                ("orphans removed", sp.counter("orphans_removed")),
+                ("io errors", sp.counter("storage_io_errors")),
+            ];
+            if recovery.iter().any(|(_, n)| *n > 0) {
+                let parts: Vec<String> = recovery
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(k, n)| format!("{n} {k}"))
+                    .collect();
+                out.push_str(&format!("  durability: {}\n", parts.join("  ")));
+            }
         }
         out.push_str(&format!(
             "totals: {} llm calls  {} tokens  {} retries  ${:.4}  fingerprint {:016x}\n",

@@ -4,10 +4,13 @@
 
 use crate::docset::{DocSet, Source};
 use crate::ingest::IngestShared;
+use aryn_core::vfs::{ChaosFs, StdFs, Vfs};
 use aryn_core::{ArynError, Document, Result};
 use aryn_docgen::layout::RawDocument;
 use aryn_docgen::Corpus;
-use aryn_index::{Catalog, DocStore, HnswIndex, KeywordIndex, StoreSnapshot, VectorIndex};
+use aryn_index::{
+    Catalog, DocStore, HnswIndex, KeywordIndex, StoreConfig, StoreSnapshot, VectorIndex, WalConfig,
+};
 use aryn_llm::{
     ChaosSchedule, EmbeddingModel, HashedBowEmbedder, ReliabilityPolicy, ReliabilityState,
 };
@@ -111,6 +114,10 @@ pub(crate) struct ContextInner {
     /// [`crate::ingest::Ingestor`] so query layers can report segment /
     /// compaction activity and index lag alongside a question's trace.
     pub ingest: RwLock<BTreeMap<String, Arc<IngestShared>>>,
+    /// The filesystem durable components go through ([`StdFs`] by default).
+    /// [`Context::set_chaos`] swaps in a fault-injecting wrapper when the
+    /// schedule carries storage faults.
+    pub vfs: RwLock<Arc<dyn Vfs>>,
 }
 
 /// Shared handle to the Sycamore runtime state.
@@ -150,6 +157,7 @@ impl Context {
                 exec: RwLock::new(ExecConfig::default()),
                 telemetry: Telemetry::new("sycamore"),
                 ingest: RwLock::new(BTreeMap::new()),
+                vfs: RwLock::new(Arc::new(StdFs)),
             }),
             session: None,
         }
@@ -191,6 +199,7 @@ impl Context {
                 exec: RwLock::new(exec),
                 telemetry: self.inner.telemetry.clone(),
                 ingest: RwLock::new(BTreeMap::new()),
+                vfs: RwLock::new(self.inner.vfs.read().clone()),
             }),
             session: self.session.clone(),
         }
@@ -242,14 +251,34 @@ impl Context {
     /// Installs a chaos fault schedule. Each LLM op constructed afterwards
     /// wraps its model in a [`aryn_llm::ChaosModel`] with an independent
     /// copy of this schedule (per-op call clocks), so faults land
-    /// deterministically regardless of stage interleaving.
+    /// deterministically regardless of stage interleaving. When the
+    /// schedule carries storage faults, the context VFS is additionally
+    /// wrapped in a [`ChaosFs`] (one shared IO-op clock), so WAL appends,
+    /// segment seals, cache appends, and materialize checkpoints all sit in
+    /// the blast radius.
     pub fn set_chaos(&self, schedule: ChaosSchedule) {
+        if !schedule.storage.is_calm() {
+            let current = self.inner.vfs.read().clone();
+            *self.inner.vfs.write() = Arc::new(ChaosFs::wrap(current, schedule.storage.clone()));
+        }
         *self.inner.chaos.write() = Some(schedule);
     }
 
     /// The installed chaos schedule, if any.
     pub fn chaos(&self) -> Option<ChaosSchedule> {
         self.inner.chaos.read().clone()
+    }
+
+    /// The filesystem handle durable components share.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.inner.vfs.read().clone()
+    }
+
+    /// Replaces the context filesystem (tests inject a `MemFs`; chaos harnesses
+    /// inject a pre-wrapped [`ChaosFs`]). Components capture the handle at
+    /// construction/open time, so install the VFS before opening stores.
+    pub fn set_vfs(&self, fs: Arc<dyn Vfs>) {
+        *self.inner.vfs.write() = fs;
     }
 
     /// The context's span collector. Clone it to record from transforms or
@@ -348,6 +377,23 @@ impl Context {
     /// Inserts (replacing) a document store.
     pub fn put_store(&self, name: &str, store: DocStore) {
         self.inner.catalog.write().insert(name, store);
+    }
+
+    /// Opens (or creates) a durable [`DocStore`] at `dir` through the
+    /// context VFS, registers it under `name`, and returns its post-recovery
+    /// stats (`wal_replayed`, `torn_tail_truncated`, `segments_recovered`,
+    /// ...). Acked writes into this store survive a process crash.
+    pub fn open_store(
+        &self,
+        name: &str,
+        dir: impl Into<std::path::PathBuf>,
+        config: StoreConfig,
+        wal: WalConfig,
+    ) -> Result<aryn_index::StoreStats> {
+        let store = DocStore::open_with(dir, self.vfs(), config, wal)?;
+        let stats = store.stats();
+        self.put_store(name, store);
+        Ok(stats)
     }
 
     /// Registers an ingest stream's shared counters under its target store

@@ -35,6 +35,15 @@ pub struct IngestConfig {
     pub seal_cost_ms: f64,
     /// Virtual cost of one full-merge compaction.
     pub compact_cost_ms: f64,
+    /// Virtual cost of appending one document's WAL record. Charged only
+    /// when the target store is durable (DESIGN.md §5k): an in-memory
+    /// store's lag profile is unchanged.
+    pub wal_cost_ms: f64,
+    /// Additional virtual cost of the per-append fsync when the store's
+    /// [`aryn_index::WalConfig`] has `fsync` on. Durable-ack streams pay
+    /// `wal_cost_ms + fsync_cost_ms` per arrival before the doc counts as
+    /// searchable.
+    pub fsync_cost_ms: f64,
     /// Maintain the vector sidecar (embedding each arrival if the document
     /// carries none).
     pub embed: bool,
@@ -48,6 +57,8 @@ impl Default for IngestConfig {
             doc_cost_ms: 2.0,
             seal_cost_ms: 8.0,
             compact_cost_ms: 24.0,
+            wal_cost_ms: 0.5,
+            fsync_cost_ms: 2.0,
             embed: true,
         }
     }
@@ -182,28 +193,47 @@ impl Ingestor {
     /// Returns the arrival's index lag: how long (virtual ms) after arrival
     /// the document was searchable in every sidecar, including any seal or
     /// compaction work it queued behind. O(doc) index work per call.
+    ///
+    /// Against a durable store the ack is *durable*: `Ok` means the
+    /// document's WAL record reached the store's filesystem, and the WAL
+    /// (plus fsync, when configured) cost is charged to the virtual clock
+    /// before the arrival counts as searchable. `Err` means the arrival was
+    /// not acknowledged — it is absent from the store and the sidecars, and
+    /// will not survive a crash.
     pub fn ingest_at(&mut self, doc: Document, arrival_ms: f64) -> Result<f64> {
         // The pipeline is busy until `clock_ms`; a doc arriving earlier
         // waits, one arriving later finds the pipeline idle.
         self.clock_ms = self.clock_ms.max(arrival_ms) + self.cfg.doc_cost_ms;
         let text = doc.full_text();
-        self.keyword.add(doc.id.0.clone(), &text);
-        if self.cfg.embed {
-            let v = match &doc.embedding {
-                Some(v) => v.clone(),
-                None => self.embedder.embed(&text),
-            };
-            self.vector.add(doc.id.as_str(), v)?;
-        }
         if let Some(hook) = &mut self.doc_hook {
             hook(&doc);
         }
-        let stats = self
-            .ctx
-            .with_store_mut(&self.store, |s| {
-                s.put(doc);
-                s.stats()
-            })?;
+        let doc_id = doc.id.0.clone();
+        let embedding = if self.cfg.embed {
+            Some(match &doc.embedding {
+                Some(v) => v.clone(),
+                None => self.embedder.embed(&text),
+            })
+        } else {
+            None
+        };
+        let (put, stats, durable, fsync) = self.ctx.with_store_mut(&self.store, |s| {
+            let put = s.try_put(doc);
+            (put, s.stats(), s.is_durable(), s.wal_fsync())
+        })?;
+        if durable {
+            self.clock_ms += self.cfg.wal_cost_ms;
+            if fsync {
+                self.clock_ms += self.cfg.fsync_cost_ms;
+            }
+        }
+        // A failed WAL append is a refused ack: the store did not take the
+        // document, so the sidecars must not serve it either.
+        put?;
+        self.keyword.add(doc_id.clone(), &text);
+        if let Some(v) = embedding {
+            self.vector.add(&doc_id, v)?;
+        }
         // The store seals/compacts inline at its thresholds; mirror those
         // boundaries onto the sidecars and charge their virtual cost.
         let seals = stats.seals - self.last_stats.seals;
@@ -288,6 +318,22 @@ impl Ingestor {
         sp.gauge("index_lag_p50_ms", report.p50_lag_ms);
         sp.gauge("index_lag_p99_ms", report.p99_lag_ms);
         sp.gauge("index_lag_ms", report.max_lag_ms);
+        // Durability counters ride along nonzero-only so in-memory streams
+        // keep their span fingerprints.
+        if let Ok(stats) = self.ctx.with_store(&self.store, |s| s.stats()) {
+            for (key, n) in [
+                ("wal_appends", stats.wal_appends),
+                ("wal_replayed", stats.wal_replayed),
+                ("torn_tail_truncated", stats.torn_tail_truncated),
+                ("segments_recovered", stats.segments_recovered),
+                ("orphans_removed", stats.orphans_removed),
+                ("storage_io_errors", stats.io_errors),
+            ] {
+                if n > 0 {
+                    sp.set(key, n as u64);
+                }
+            }
+        }
         sp.finish();
         report
     }

@@ -9,6 +9,7 @@
 use crate::context::Context;
 use crate::op::{Agg, ElementSelector, Op, PartitionCfg};
 use aryn_core::json;
+use aryn_core::vfs::{self, StdFs, Vfs};
 use aryn_core::{obj, ArynError, Document, LineageRecord, Result, Value};
 use aryn_llm::prompt::tasks;
 use aryn_llm::semantics;
@@ -713,7 +714,10 @@ pub fn summarize_all_stats(
 /// Materializes documents: cached in memory under `name` — stamped with the
 /// fingerprint of the op-prefix that produced them, so resume only reuses
 /// the checkpoint for an identical upstream plan — optionally spilled to
-/// `{dir}/{name}.jsonl`.
+/// `{dir}/{name}.jsonl`. The spill goes through the context's [`Vfs`] as a
+/// checksummed record file written atomically (temp → sync → rename), so a
+/// crash mid-checkpoint leaves either the previous checkpoint or a complete
+/// new one — never a torn file that resume would half-trust.
 pub fn materialize(
     ctx: &Context,
     name: &str,
@@ -726,24 +730,57 @@ pub fn materialize(
         .write()
         .insert(name.to_string(), (fingerprint, docs.to_vec()));
     if let Some(dir) = dir {
-        std::fs::create_dir_all(dir)?;
+        let fs = ctx.vfs();
+        fs.create_dir_all(dir)?;
         let path = dir.join(format!("{name}.jsonl"));
-        let mut out = String::new();
-        for d in docs {
-            out.push_str(&json::to_string(&aryn_core::serialize::document_to_value(d)));
-            out.push('\n');
-        }
-        std::fs::write(path, out)?;
+        let records: Vec<(char, String)> = docs
+            .iter()
+            .map(|d| {
+                (
+                    's',
+                    json::to_string(&aryn_core::serialize::document_to_value(d)),
+                )
+            })
+            .collect();
+        vfs::atomic_write(&fs, &path, vfs::encode_tagged_file(&records).as_bytes())?;
     }
     Ok(())
 }
 
 /// Loads a disk materialization written by [`materialize`].
 pub fn load_materialized(path: &std::path::Path) -> Result<Vec<Document>> {
-    let text = std::fs::read_to_string(path)?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| aryn_core::serialize::document_from_value(&json::parse(l)?))
+    load_materialized_on(&StdFs, path)
+}
+
+/// [`load_materialized`] against an explicit [`Vfs`]. Accepts both the
+/// checksummed record format and the legacy plain-JSONL spill; any checksum
+/// or footer mismatch is an error — a torn checkpoint is discarded by the
+/// caller and recomputed, never half-loaded.
+pub fn load_materialized_on(fs: &dyn Vfs, path: &std::path::Path) -> Result<Vec<Document>> {
+    let text = vfs::read_to_string(fs, path)?;
+    let legacy = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .is_some_and(|l| l.trim_start().starts_with('{'));
+    if legacy {
+        return text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| aryn_core::serialize::document_from_value(&json::parse(l)?))
+            .collect();
+    }
+    let records = vfs::decode_tagged_file(&text)?;
+    records
+        .iter()
+        .map(|(tag, payload)| {
+            if *tag != 's' {
+                return Err(ArynError::Io(format!(
+                    "materialized file {}: unexpected record tag {tag:?}",
+                    path.display()
+                )));
+            }
+            aryn_core::serialize::document_from_value(&json::parse(payload)?)
+        })
         .collect()
 }
 

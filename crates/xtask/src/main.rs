@@ -79,6 +79,7 @@ fn lint(root: &Path) -> Result<(), String> {
     model_call_scan(root, &mut failures)?;
     batch_bypass_scan(root, &mut failures)?;
     sleep_retry_scan(root, &mut failures)?;
+    raw_fs_scan(root, &mut failures)?;
     doc_code_check(root, &mut failures)?;
     if failures.is_empty() {
         println!("xtask lint: ok");
@@ -370,6 +371,69 @@ fn sleep_retry_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), Strin
     Ok(())
 }
 
+// --- Raw-filesystem-write scan ------------------------------------------------
+
+/// The grandfathered raw `std::fs` write sites outside the VFS: the bench
+/// trace exporter (reports, not durable state). Shrink when one is removed;
+/// never grow one — durable state goes through `aryn_core::vfs`.
+const RAW_FS_BUDGETS: &[(&str, usize)] = &[("crates/bench/src/lib.rs", 2)];
+
+/// Library code must not mutate the filesystem with raw `std::fs` calls:
+/// writes that bypass `aryn_core::vfs` (DESIGN.md §5k) are invisible to
+/// chaos crash-points and skip the atomic temp→sync→rename discipline, so
+/// a crash mid-write can corrupt the only copy. `aryn-core::vfs` itself is
+/// the one place allowed to touch `std::fs`; test modules are auto-exempt.
+fn raw_fs_scan(root: &Path, failures: &mut Vec<String>) -> Result<(), String> {
+    const PATTERNS: &[&str] = &[
+        "fs::write(",
+        "fs::rename(",
+        "fs::remove_file(",
+        "fs::remove_dir",
+        "fs::create_dir_all(",
+        "File::create(",
+        "OpenOptions::new(",
+    ];
+    let mut counts: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot list {}: {e}", crates.display()))?;
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        // xtask holds the patterns as string literals (and is repo
+        // automation, not library code).
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        scan_dir_for(&dir.join("src"), root, PATTERNS, &mut counts)?;
+    }
+    // aryn-core::vfs is the single sanctioned std::fs user.
+    counts.remove("crates/aryn-core/src/vfs.rs");
+    for (file, sites) in &counts {
+        let budget = RAW_FS_BUDGETS
+            .iter()
+            .find(|(f, _)| f == file)
+            .map_or(0, |(_, n)| *n);
+        if sites.len() > budget {
+            for (lineno, line) in sites {
+                failures.push(format!("{file}:{lineno}: raw std::fs write in library code: {line}"));
+            }
+            failures.push(format!(
+                "{file}: {} raw fs write(s), budget {budget} — route durable state through \
+                 aryn_core::vfs (atomic, checksummed, chaos-coverable; DESIGN.md §5k) \
+                 instead of std::fs",
+                sites.len()
+            ));
+        } else if sites.len() < budget {
+            println!(
+                "xtask lint: note: {file} raw-fs budget {budget} but only {} site(s) — \
+                 tighten RAW_FS_BUDGETS in crates/xtask/src/main.rs",
+                sites.len()
+            );
+        }
+    }
+    Ok(())
+}
+
 // --- Bench18 plan lint (`cargo xtask lint --plans`) ---------------------------
 
 /// Runs the planner + static cost analyzer (DESIGN.md §5h) over every
@@ -512,6 +576,26 @@ mod tests {
         assert_eq!(sleeps.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![2]);
         let loops = scan_source_for(src, &["for attempt", "while attempt"]);
         assert_eq!(loops.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn raw_fs_patterns_are_detected() {
+        let src = "\
+fn save() {
+    std::fs::write(&path, data)?;
+    std::fs::rename(&tmp, &path)?;
+}
+// comment: fs::write( is fine here
+#[cfg(test)]
+mod tests {
+    fn t() {
+        std::fs::write(&path, data).unwrap();
+    }
+}
+";
+        let sites = scan_source_for(src, &["fs::write(", "fs::rename("]);
+        let linenos: Vec<usize> = sites.iter().map(|(n, _)| *n).collect();
+        assert_eq!(linenos, vec![2, 3]);
     }
 
     #[test]

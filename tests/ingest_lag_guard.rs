@@ -15,6 +15,8 @@ const CFG: IngestConfig = IngestConfig {
     doc_cost_ms: 2.0,
     seal_cost_ms: 8.0,
     compact_cost_ms: 24.0,
+    wal_cost_ms: 0.5,
+    fsync_cost_ms: 2.0,
     embed: true,
 };
 
